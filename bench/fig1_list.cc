@@ -1,0 +1,42 @@
+// Figure 1 (left): lock-free list throughput, 5K nodes, 20% mutations, threads 1-16.
+// Schemes: Original (no reclamation), Hazard pointers, Epoch, StackTrack, DTA.
+#include "bench/harness.h"
+#include "ds/list.h"
+#include "smr/dta.h"
+#include "smr/epoch.h"
+#include "smr/hazard.h"
+#include "smr/leaky.h"
+#include "smr/stacktrack_smr.h"
+
+namespace stacktrack::bench {
+namespace {
+
+template <typename Smr>
+double Point(const WorkloadConfig& cfg) {
+  ds::LockFreeList<Smr> list;
+  return RunMapWorkload<Smr>(list, cfg).ops_per_sec;
+}
+
+int Main() {
+  PrintHeader("Fig 1: List throughput (ops/sec)", "5K nodes, 20% mutations, keys 1..10000");
+  std::printf("%8s %14s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
+              "StackTrack", "DTA");
+  for (const uint32_t threads : EnvThreads()) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.duration_ms = EnvMs();
+    cfg.mutation_percent = 20;
+    cfg.key_range = 10000;
+    cfg.prefill = 5000;
+    std::printf("%8u %14.0f %14.0f %14.0f %14.0f %14.0f\n", threads,
+                Point<smr::LeakySmr>(cfg), Point<smr::HazardSmr>(cfg),
+                Point<smr::EpochSmr>(cfg), Point<smr::StackTrackSmr>(cfg),
+                Point<smr::DtaSmr>(cfg));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stacktrack::bench
+
+int main() { return stacktrack::bench::Main(); }

@@ -1,0 +1,40 @@
+// Figure 1 (right): lock-free skip-list throughput, 100K nodes, 20% mutations.
+#include "bench/harness.h"
+#include "ds/skiplist.h"
+#include "smr/epoch.h"
+#include "smr/hazard.h"
+#include "smr/leaky.h"
+#include "smr/stacktrack_smr.h"
+
+namespace stacktrack::bench {
+namespace {
+
+template <typename Smr>
+double Point(const WorkloadConfig& cfg) {
+  ds::LockFreeSkipList<Smr> skiplist;
+  return RunMapWorkload<Smr>(skiplist, cfg).ops_per_sec;
+}
+
+int Main() {
+  PrintHeader("Fig 1: Skip-list throughput (ops/sec)",
+              "100K nodes, 20% mutations, keys 1..200000");
+  std::printf("%8s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
+              "StackTrack");
+  for (const uint32_t threads : EnvThreads()) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.duration_ms = EnvMs();
+    cfg.mutation_percent = 20;
+    cfg.key_range = 200000;
+    cfg.prefill = 100000;
+    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads, Point<smr::LeakySmr>(cfg),
+                Point<smr::HazardSmr>(cfg), Point<smr::EpochSmr>(cfg),
+                Point<smr::StackTrackSmr>(cfg));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stacktrack::bench
+
+int main() { return stacktrack::bench::Main(); }

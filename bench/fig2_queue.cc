@@ -1,0 +1,38 @@
+// Figure 2 (left): Michael-Scott queue throughput, 20% mutations (enq/deq), 80% peeks.
+#include "bench/harness.h"
+#include "ds/queue.h"
+#include "smr/epoch.h"
+#include "smr/hazard.h"
+#include "smr/leaky.h"
+#include "smr/stacktrack_smr.h"
+
+namespace stacktrack::bench {
+namespace {
+
+template <typename Smr>
+double Point(const WorkloadConfig& cfg) {
+  ds::LockFreeQueue<Smr> queue;
+  return RunQueueWorkload<Smr>(queue, cfg).ops_per_sec;
+}
+
+int Main() {
+  PrintHeader("Fig 2: Queue throughput (ops/sec)", "20% mutations (10% enq / 10% deq), 1K prefill");
+  std::printf("%8s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
+              "StackTrack");
+  for (const uint32_t threads : EnvThreads()) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.duration_ms = EnvMs();
+    cfg.mutation_percent = 20;
+    cfg.prefill = 1000;
+    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads, Point<smr::LeakySmr>(cfg),
+                Point<smr::HazardSmr>(cfg), Point<smr::EpochSmr>(cfg),
+                Point<smr::StackTrackSmr>(cfg));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stacktrack::bench
+
+int main() { return stacktrack::bench::Main(); }

@@ -1,0 +1,248 @@
+#include "core/free_proc.h"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "htm/htm.h"
+#include "runtime/pool_alloc.h"
+
+namespace stacktrack::core {
+namespace {
+
+// One unsynchronized pass over the target's exposed registers and tracked frames.
+// Pointer matching is range containment, which subsumes exact matches, interior
+// pointers (array elements, member addresses) and mark/freeze tag bits folded into
+// low pointer bits by the data structures.
+bool ScanRootsOnce(StContext& reclaimer, const StContext& target, uintptr_t base,
+                   std::size_t length) {
+  for (uint32_t i = 0; i < kRegisterSlots; ++i) {
+    const uintptr_t word = target.exposed_regs[i].load(std::memory_order_acquire);
+    ++reclaimer.stats.scan_words;
+    if (word - base < length) {
+      return true;
+    }
+  }
+  const uint32_t frames = target.frame_count.load(std::memory_order_acquire);
+  for (uint32_t f = 0; f < frames && f < kMaxFrames; ++f) {
+    const uintptr_t lo = target.frames[f].lo.load(std::memory_order_acquire);
+    const uintptr_t hi = target.frames[f].hi.load(std::memory_order_acquire);
+    if (lo == 0 || hi <= lo) {
+      continue;
+    }
+    for (uintptr_t addr = lo; addr + sizeof(uintptr_t) <= hi; addr += sizeof(uintptr_t)) {
+      const uintptr_t word =
+          reinterpret_cast<const std::atomic<uintptr_t>*>(addr)->load(std::memory_order_acquire);
+      ++reclaimer.stats.scan_words;
+      if (word - base < length) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool InspectThread(StContext& reclaimer, StContext& target, uintptr_t base,
+                   std::size_t length, bool check_refset) {
+  ++reclaimer.stats.scan_thread_inspects;
+  const uint64_t oper_pre = target.oper_counter.load(std::memory_order_acquire);
+  while (true) {
+    const uint64_t seq_pre = target.splits_seq.load(std::memory_order_acquire);
+    if ((seq_pre & 1) != 0) {
+      // Register exposure in flight; the exposing thread is committing, i.e. making
+      // progress — wait it out (Algorithm 1's restart argument).
+      ++reclaimer.stats.scan_restarts;
+      sched_yield();
+      if (target.oper_counter.load(std::memory_order_acquire) != oper_pre) {
+        return false;  // operation completed; its roots are dead
+      }
+      continue;
+    }
+    bool found = ScanRootsOnce(reclaimer, target, base, length);
+    if (!found && check_refset) {
+      found = target.ref_set.ContainsRange(base, length);
+    }
+    const uint64_t seq_post = target.splits_seq.load(std::memory_order_acquire);
+    const uint64_t oper_post = target.oper_counter.load(std::memory_order_acquire);
+    if (oper_pre != oper_post) {
+      // The scanned operation finished: whatever we observed is obsolete, and the
+      // roots it held are gone. Continue to the next thread (Algorithm 1 lines 25-29).
+      return false;
+    }
+    if (seq_pre != seq_post) {
+      ++reclaimer.stats.scan_restarts;
+      continue;  // a segment committed mid-scan; rescan this thread
+    }
+    return found;
+  }
+}
+
+bool CandidateIsLive(StContext& reclaimer, uintptr_t base, std::size_t length) {
+  const bool check_refsets = reclaimer.config().scan_refsets_always ||
+                             GlobalSlowPathCount().load(std::memory_order_acquire) != 0;
+  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+  for (uint32_t tid = 0; tid < watermark; ++tid) {
+    StContext* target = ActivityArray::Instance().Get(tid);
+    if (target == nullptr || target == &reclaimer) {
+      // Skip self: ScanAndFree runs after the reclaimer's final segment committed, so
+      // roots still sitting in its own frames are dead by contract.
+      continue;
+    }
+    if (InspectThread(reclaimer, *target, base, length, check_refsets)) {
+      ++reclaimer.stats.scan_hits;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ScanAndFree(StContext& reclaimer) {
+  ++reclaimer.stats.scan_calls;
+  auto& pool = runtime::PoolAllocator::Instance();
+  std::vector<void*>* free_set = nullptr;
+  {
+    // Work directly on the reclaimer's buffer: ScanAndFree only runs on the owning
+    // thread (from OpEnd / Free / FlushFrees), never concurrently with itself.
+    free_set = &reclaimer.MutableFreeSet();
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < free_set->size(); ++i) {
+    void* ptr = (*free_set)[i];
+    if (!pool.OwnsLive(ptr)) {
+      // Defensive: the block was already reclaimed through another path (see the
+      // known-issue note in DESIGN.md §5); dropping it keeps frees idempotent.
+      ++reclaimer.stats.stale_free_drops;
+      continue;
+    }
+    const std::size_t length = pool.UsableSize(ptr);
+    if (CandidateIsLive(reclaimer, reinterpret_cast<uintptr_t>(ptr), length)) {
+      (*free_set)[kept++] = ptr;  // still referenced; retry next scan
+      continue;
+    }
+    // Make any in-flight transactional reader of this range abort before its memory
+    // is poisoned and recycled, then hand it back to the pool (HEAP_FREE).
+    htm::QuarantineRange(ptr, length);
+    pool.Free(ptr);
+    ++reclaimer.stats.frees;
+  }
+  free_set->resize(kept);
+}
+
+namespace {
+
+// Collects one thread's roots (exposed registers + tracked frame words + reference-set
+// entries when requested) into `words`, under the splits/oper consistency protocol.
+// Returns false when the thread's operation completed mid-collection (its roots are
+// dead and nothing is appended).
+bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool check_refset,
+                        std::vector<uintptr_t>& words) {
+  ++reclaimer.stats.scan_thread_inspects;
+  const uint64_t oper_pre = target.oper_counter.load(std::memory_order_acquire);
+  while (true) {
+    const std::size_t mark = words.size();
+    const uint64_t seq_pre = target.splits_seq.load(std::memory_order_acquire);
+    if ((seq_pre & 1) != 0) {
+      ++reclaimer.stats.scan_restarts;
+      sched_yield();
+      if (target.oper_counter.load(std::memory_order_acquire) != oper_pre) {
+        return false;
+      }
+      continue;
+    }
+    for (uint32_t i = 0; i < kRegisterSlots; ++i) {
+      const uintptr_t word = target.exposed_regs[i].load(std::memory_order_acquire);
+      ++reclaimer.stats.scan_words;
+      if (word != 0) {
+        words.push_back(word);
+      }
+    }
+    const uint32_t frames = target.frame_count.load(std::memory_order_acquire);
+    for (uint32_t f = 0; f < frames && f < kMaxFrames; ++f) {
+      const uintptr_t lo = target.frames[f].lo.load(std::memory_order_acquire);
+      const uintptr_t hi = target.frames[f].hi.load(std::memory_order_acquire);
+      if (lo == 0 || hi <= lo) {
+        continue;
+      }
+      for (uintptr_t addr = lo; addr + sizeof(uintptr_t) <= hi; addr += sizeof(uintptr_t)) {
+        const uintptr_t word =
+            reinterpret_cast<const std::atomic<uintptr_t>*>(addr)->load(
+                std::memory_order_acquire);
+        ++reclaimer.stats.scan_words;
+        if (word != 0) {
+          words.push_back(word);
+        }
+      }
+    }
+    if (check_refset) {
+      const uint32_t used = target.ref_set.size();
+      for (uint32_t i = 0; i < used; ++i) {
+        const uintptr_t word = target.ref_set.slot(i);
+        if (word != 0) {
+          words.push_back(word);
+        }
+      }
+    }
+    const uint64_t seq_post = target.splits_seq.load(std::memory_order_acquire);
+    const uint64_t oper_post = target.oper_counter.load(std::memory_order_acquire);
+    if (oper_pre != oper_post) {
+      words.resize(mark);
+      return false;
+    }
+    if (seq_pre != seq_post) {
+      words.resize(mark);
+      ++reclaimer.stats.scan_restarts;
+      continue;
+    }
+    return true;
+  }
+}
+
+}  // namespace
+
+void ScanAndFreeHashed(StContext& reclaimer) {
+  ++reclaimer.stats.scan_calls;
+  auto& pool = runtime::PoolAllocator::Instance();
+  std::vector<void*>& free_set = reclaimer.MutableFreeSet();
+
+  // Phase 1: one consistent sweep of every thread's roots into a sorted table.
+  const bool check_refsets = reclaimer.config().scan_refsets_always ||
+                             GlobalSlowPathCount().load(std::memory_order_acquire) != 0;
+  std::vector<uintptr_t> roots;
+  roots.reserve(256);
+  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+  for (uint32_t tid = 0; tid < watermark; ++tid) {
+    StContext* target = ActivityArray::Instance().Get(tid);
+    if (target == nullptr || target == &reclaimer) {
+      continue;
+    }
+    CollectThreadRoots(reclaimer, *target, check_refsets, roots);
+  }
+  std::sort(roots.begin(), roots.end());
+
+  // Phase 2: each candidate is a binary range probe instead of a full rescan.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < free_set.size(); ++i) {
+    void* ptr = free_set[i];
+    if (!pool.OwnsLive(ptr)) {
+      ++reclaimer.stats.stale_free_drops;
+      continue;
+    }
+    const uintptr_t base = reinterpret_cast<uintptr_t>(ptr);
+    const std::size_t length = pool.UsableSize(ptr);
+    auto it = std::lower_bound(roots.begin(), roots.end(), base);
+    if (it != roots.end() && *it - base < length) {
+      ++reclaimer.stats.scan_hits;
+      free_set[kept++] = ptr;  // a root points into the candidate; keep it
+      continue;
+    }
+    htm::QuarantineRange(ptr, length);
+    pool.Free(ptr);
+    ++reclaimer.stats.frees;
+  }
+  free_set.resize(kept);
+}
+
+}  // namespace stacktrack::core

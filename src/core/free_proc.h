@@ -1,0 +1,39 @@
+// The StackTrack free procedure (Algorithm 1): SCAN_AND_FREE plus the per-thread
+// inspection protocol (IS_IN_STACK / IS_IN_REGISTERS with the splits-counter retry and
+// the oper-counter shortcut).
+#ifndef STACKTRACK_CORE_FREE_PROC_H_
+#define STACKTRACK_CORE_FREE_PROC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/thread_context.h"
+
+namespace stacktrack::core {
+
+// Scans every registered thread's roots for references into the reclaimer's free set
+// and returns the memory of unreferenced candidates to the pool (after quarantining the
+// range so in-flight transactional readers abort). Survivors stay buffered for the
+// next call. Runs non-transactionally; multiple reclaimers may scan concurrently.
+void ScanAndFree(StContext& reclaimer);
+
+// One candidate inspection across all threads: true when some thread (other than the
+// reclaimer) may still hold a reference into [base, base + length). Exposed for tests
+// and the scan-behaviour benchmark.
+bool CandidateIsLive(StContext& reclaimer, uintptr_t base, std::size_t length);
+
+// Inspection of one thread's roots with the consistency protocol of Algorithm 1
+// (lines 12-30). `check_refset` additionally consults the slow-path reference set.
+bool InspectThread(StContext& reclaimer, StContext& target, uintptr_t base,
+                   std::size_t length, bool check_refset);
+
+// The paper's §5.2 optimization: instead of rescanning every thread per candidate,
+// collect all root words once (per-thread, under the same splits/oper consistency
+// protocol) into a sorted table, then answer each candidate with a range probe —
+// average O(1) work per freed pointer. Enabled with StConfig::hashed_scan; ablated by
+// bench/ablation_scan.
+void ScanAndFreeHashed(StContext& reclaimer);
+
+}  // namespace stacktrack::core
+
+#endif  // STACKTRACK_CORE_FREE_PROC_H_

@@ -1,0 +1,55 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/barrier.h"
+
+namespace stacktrack::core {
+namespace {
+
+struct RegistryState {
+  runtime::SpinLatch latch;
+  std::vector<Stats*> live;
+  Stats retired;
+};
+
+RegistryState& State() {
+  static RegistryState state;
+  return state;
+}
+
+}  // namespace
+
+StatsRegistry& StatsRegistry::Instance() {
+  static StatsRegistry registry;
+  return registry;
+}
+
+void StatsRegistry::Register(Stats* stats) {
+  RegistryState& state = State();
+  runtime::LatchGuard guard(state.latch);
+  state.live.push_back(stats);
+}
+
+void StatsRegistry::Deregister(Stats* stats) {
+  RegistryState& state = State();
+  runtime::LatchGuard guard(state.latch);
+  auto it = std::find(state.live.begin(), state.live.end(), stats);
+  if (it != state.live.end()) {
+    state.live.erase(it);
+    state.retired += *stats;
+  }
+}
+
+Stats StatsRegistry::Sum() const {
+  RegistryState& state = State();
+  runtime::LatchGuard guard(state.latch);
+  Stats total = state.retired;
+  for (const Stats* stats : state.live) {
+    total += *stats;
+  }
+  return total;
+}
+
+}  // namespace stacktrack::core

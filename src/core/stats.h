@@ -1,0 +1,86 @@
+// Per-thread event counters and a global aggregator.
+//
+// Every figure in the paper's evaluation beyond raw throughput (Figs. 3-5: abort
+// taxonomy, splits per operation, split lengths, scan behaviour) is derived from these
+// counters. Each StContext owns a Stats block; the registry sums live blocks so the
+// benchmark harness can snapshot before/after a measured phase.
+#ifndef STACKTRACK_CORE_STATS_H_
+#define STACKTRACK_CORE_STATS_H_
+
+#include <cstdint>
+
+namespace stacktrack::core {
+
+struct Stats {
+  // Operation / segment life cycle.
+  uint64_t ops = 0;
+  uint64_t segments_committed = 0;   // fast-path segment commits
+  uint64_t segments_slow = 0;        // segments executed on the software slow path
+  uint64_t steps_committed = 0;      // basic blocks inside committed segments
+  // Abort taxonomy (counted per failed fast-path attempt).
+  uint64_t aborts_conflict = 0;
+  uint64_t aborts_capacity = 0;
+  uint64_t aborts_explicit = 0;
+  uint64_t aborts_other = 0;
+  // Split-length predictor activity.
+  uint64_t predictor_increases = 0;
+  uint64_t predictor_decreases = 0;
+  // Reclamation.
+  uint64_t retires = 0;
+  uint64_t frees = 0;
+  uint64_t scan_calls = 0;           // scan_and_free invocations
+  uint64_t scan_thread_inspects = 0; // per-thread inspections performed
+  uint64_t scan_restarts = 0;        // splits-counter inconsistency retries
+  uint64_t scan_words = 0;           // stack/register words compared
+  uint64_t scan_hits = 0;            // candidates kept alive by a found reference
+  uint64_t stale_free_drops = 0;     // free-set entries already freed elsewhere (guard)
+  // Slow path.
+  uint64_t slow_reads = 0;
+  uint64_t slow_read_retries = 0;
+  uint64_t slow_ops = 0;             // operations forced entirely onto the slow path
+
+  Stats& operator+=(const Stats& other) {
+    const uint64_t* src = reinterpret_cast<const uint64_t*>(&other);
+    uint64_t* dst = reinterpret_cast<uint64_t*>(this);
+    for (std::size_t i = 0; i < sizeof(Stats) / sizeof(uint64_t); ++i) {
+      dst[i] += src[i];
+    }
+    return *this;
+  }
+
+  double AvgSplitsPerOp() const {
+    const uint64_t segments = segments_committed + segments_slow;
+    return ops == 0 ? 0.0 : static_cast<double>(segments) / static_cast<double>(ops);
+  }
+
+  double AvgSplitLength() const {
+    return segments_committed == 0
+               ? 0.0
+               : static_cast<double>(steps_committed) / static_cast<double>(segments_committed);
+  }
+
+  uint64_t TotalAborts() const {
+    return aborts_conflict + aborts_capacity + aborts_explicit + aborts_other;
+  }
+};
+static_assert(sizeof(Stats) % sizeof(uint64_t) == 0);
+
+// Tracks all live per-thread Stats blocks. Threads register at context creation and
+// fold their counters into a retired total at destruction, so sums never lose events.
+class StatsRegistry {
+ public:
+  static StatsRegistry& Instance();
+
+  void Register(Stats* stats);
+  void Deregister(Stats* stats);  // folds *stats into the retired total
+
+  // Sum over retired totals plus all live blocks (racy snapshot, fine for reporting).
+  Stats Sum() const;
+
+ private:
+  StatsRegistry() = default;
+};
+
+}  // namespace stacktrack::core
+
+#endif  // STACKTRACK_CORE_STATS_H_

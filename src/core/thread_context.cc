@@ -1,0 +1,338 @@
+#include "core/thread_context.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/free_proc.h"
+#include "runtime/backoff.h"
+
+namespace stacktrack::core {
+
+// ---- RefSet --------------------------------------------------------------------
+
+uint32_t RefSet::Add(uintptr_t value) {
+  const uint32_t index = count_.load(std::memory_order_relaxed);
+  if (index >= kSlots) {
+    std::fprintf(stderr, "stacktrack: slow-path reference set overflow (%u slots)\n", kSlots);
+    std::abort();
+  }
+  slots_[index].store(value, std::memory_order_release);
+  count_.store(index + 1, std::memory_order_release);
+  return index;
+}
+
+void RefSet::Clear() {
+  const uint32_t used = count_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < used; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_release);
+}
+
+bool RefSet::ContainsRange(uintptr_t base, std::size_t length) const {
+  const uint32_t used = count_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < used && i < kSlots; ++i) {
+    const uintptr_t value = slots_[i].load(std::memory_order_acquire);
+    if (value - base < length) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- Globals ---------------------------------------------------------------------
+
+ActivityArray& ActivityArray::Instance() {
+  static ActivityArray array;
+  return array;
+}
+
+std::atomic<uint32_t>& GlobalSlowPathCount() {
+  static std::atomic<uint32_t> count{0};
+  return count;
+}
+
+// ---- StContext --------------------------------------------------------------------
+
+StContext::StContext(uint32_t tid, const StConfig& config)
+    : tid_(tid), config_(config), rng_(0x57ac57acULL ^ (uint64_t{tid} << 32)) {
+  tx_retire_.reserve(64);
+  free_set_.reserve(config.max_free * 2 + 16);
+  StatsRegistry::Instance().Register(&stats);
+  ActivityArray::Instance().Set(tid_, this);
+}
+
+StContext::~StContext() {
+  ActivityArray::Instance().Set(tid_, nullptr);
+  // Drain what liveness allows; survivors leak (same guarantee the paper gives for a
+  // crashed thread's free buffer).
+  FlushFrees();
+  StatsRegistry::Instance().Deregister(&stats);
+}
+
+StContext::PredictorCell& StContext::CurrentCell() {
+  PredictorCell& cell = predictor_[op_id_][segment_index_];
+  if (cell.limit == 0) {
+    cell.limit = static_cast<uint16_t>(config_.initial_split_limit);
+  }
+  return cell;
+}
+
+void StContext::OpBegin(uint32_t op_id) {
+  if (op_active_) {
+    std::fprintf(stderr, "stacktrack: nested operations on one context are not supported\n");
+    std::abort();
+  }
+  op_active_ = true;
+  op_id_ = op_id < kMaxOps ? op_id : kMaxOps - 1;
+  segment_index_ = 0;
+  attempt_fails_ = 0;
+  steps_ = 0;
+  op_forced_slow_ =
+      config_.forced_slow_fraction > 0.0 && rng_.NextBool(config_.forced_slow_fraction);
+  if (op_forced_slow_) {
+    ++stats.slow_ops;
+  }
+}
+
+bool StContext::PrepareSegment() {
+  if (op_forced_slow_ || attempt_fails_ >= config_.slow_after_fails) {
+    return false;
+  }
+  SaveRootSnapshot();
+  return true;
+}
+
+void StContext::SegmentStarted() {
+  steps_ = 0;
+  limit_ = CurrentCell().limit;
+}
+
+void StContext::SlowSegmentStarted() {
+  slow_segment_ = true;
+  GlobalSlowPathCount().fetch_add(1, std::memory_order_acq_rel);
+  steps_ = 0;
+  limit_ = CurrentCell().limit;
+}
+
+void StContext::SegmentAborted(int cause) {
+  // Control arrived via the abort path (longjmp / xabort resume); no transaction is
+  // active. If the abort hit mid-exposure, move the seqlock to the next even value so
+  // scanners retry rather than trusting the half-written register file.
+  if ((splits_seq.load(std::memory_order_relaxed) & 1) != 0) {
+    splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+  }
+  RestoreRootSnapshot();
+  tx_retire_.clear();
+
+  switch (cause) {
+    case static_cast<int>(htm::AbortCause::kConflict):
+      ++stats.aborts_conflict;
+      break;
+    case static_cast<int>(htm::AbortCause::kCapacity):
+      ++stats.aborts_capacity;
+      break;
+    case static_cast<int>(htm::AbortCause::kExplicit):
+      ++stats.aborts_explicit;
+      break;
+    default:
+      ++stats.aborts_other;
+      break;
+  }
+
+  PredictorCell& cell = CurrentCell();
+  cell.consec_commits = 0;
+  if (cause == static_cast<int>(htm::AbortCause::kCapacity)) {
+    if (++cell.consec_aborts >= config_.consec_threshold) {
+      if (cell.limit > config_.min_split_limit) {
+        --cell.limit;
+        ++stats.predictor_decreases;
+      }
+      cell.consec_aborts = 0;
+    }
+  }
+  ++attempt_fails_;
+
+  if (cause == static_cast<int>(htm::AbortCause::kConflict)) {
+    runtime::ExponentialBackoff backoff(8, 256);
+    for (uint32_t i = 0; i < attempt_fails_ && i < 4; ++i) {
+      backoff.Pause();
+    }
+  }
+}
+
+void StContext::ExposeRegisters() {
+  // Owner is the only writer: a load + release store avoids a locked RMW per segment.
+  splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);  // odd: exposure in flight
+  for (uint32_t i = 0; i < kRegisterSlots; ++i) {
+    exposed_regs[i].store(live_regs_[i], std::memory_order_release);
+  }
+}
+
+void StContext::SpliceRetires() {
+  for (void* ptr : tx_retire_) {
+    free_set_.push_back(ptr);
+    ++stats.retires;
+  }
+  tx_retire_.clear();
+}
+
+void StContext::CommitSegment() {
+  if (slow_segment_) {
+    // Slow segments run directly on memory: "committing" is exposing the registers and
+    // dropping the reference set, which is safe because every still-live root now sits
+    // in the exposed file or a tracked frame.
+    ExposeRegisters();
+    splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);  // even
+    ref_set.Clear();
+    GlobalSlowPathCount().fetch_sub(1, std::memory_order_acq_rel);
+    slow_segment_ = false;
+    attempt_fails_ = 0;
+    ++stats.segments_slow;
+    SpliceRetires();
+  } else {
+    ExposeRegisters();
+    htm::TxCommit();  // on validation failure this aborts back to the begin point
+    splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);  // even
+    ++stats.segments_committed;
+    stats.steps_committed += steps_;
+    PredictorCell& cell = CurrentCell();
+    cell.consec_aborts = 0;
+    if (++cell.consec_commits >= config_.consec_threshold) {
+      if (cell.limit < config_.max_split_limit) {
+        ++cell.limit;
+        ++stats.predictor_increases;
+      }
+      cell.consec_commits = 0;
+    }
+    attempt_fails_ = 0;
+    SpliceRetires();
+  }
+  if (segment_index_ + 1 < kMaxSegments) {
+    ++segment_index_;
+  }
+}
+
+void StContext::OpEnd() {
+  if (slow_segment_) {
+    ExposeRegisters();
+    splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+    ref_set.Clear();
+    GlobalSlowPathCount().fetch_sub(1, std::memory_order_acq_rel);
+    slow_segment_ = false;
+    ++stats.segments_slow;
+    SpliceRetires();
+  } else {
+    // "Expose can be omitted on final commit" (Algorithm 2): the operation holds no
+    // roots afterwards, so stale exposed registers only delay frees — and we clear
+    // them below anyway.
+    htm::TxCommit();
+    ++stats.segments_committed;
+    stats.steps_committed += steps_;
+    PredictorCell& cell = CurrentCell();
+    cell.consec_aborts = 0;
+    if (++cell.consec_commits >= config_.consec_threshold) {
+      if (cell.limit < config_.max_split_limit) {
+        ++cell.limit;
+        ++stats.predictor_increases;
+      }
+      cell.consec_commits = 0;
+    }
+    SpliceRetires();
+  }
+
+  // Drop every root this operation held so an idle thread never pins memory.
+  for (uint32_t i = 0; i < kRegisterSlots; ++i) {
+    live_regs_[i] = 0;
+    exposed_regs[i].store(0, std::memory_order_release);
+  }
+  oper_counter.store(oper_counter.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+  ++stats.ops;
+  op_active_ = false;
+  op_forced_slow_ = false;
+  attempt_fails_ = 0;
+
+  if (free_set_.size() >= config_.max_free) {
+    if (config_.hashed_scan) {
+      ScanAndFreeHashed(*this);
+    } else {
+      ScanAndFree(*this);
+    }
+  }
+}
+
+void StContext::Retire(void* ptr, uint64_t /*key*/) { tx_retire_.push_back(ptr); }
+
+void StContext::Free(void* ptr) {
+  free_set_.push_back(ptr);
+  ++stats.retires;
+  if (free_set_.size() >= config_.max_free) {
+    if (config_.hashed_scan) {
+      ScanAndFreeHashed(*this);
+    } else {
+      ScanAndFree(*this);
+    }
+  }
+}
+
+std::size_t StContext::FlushFrees() {
+  std::size_t previous = free_set_.size() + 1;
+  while (!free_set_.empty() && free_set_.size() < previous) {
+    previous = free_set_.size();
+    if (config_.hashed_scan) {
+      ScanAndFreeHashed(*this);
+    } else {
+      ScanAndFree(*this);
+    }
+  }
+  return free_set_.size();
+}
+
+void StContext::RegisterFrame(uintptr_t* base, uint32_t words) {
+  const uint32_t index = frame_count.load(std::memory_order_relaxed);
+  if (index >= kMaxFrames) {
+    std::fprintf(stderr, "stacktrack: tracked frame nesting exceeds %u\n", kMaxFrames);
+    std::abort();
+  }
+  frame_bases_[index] = base;
+  frame_words_[index] = words;
+  frames[index].lo.store(reinterpret_cast<uintptr_t>(base), std::memory_order_release);
+  frames[index].hi.store(reinterpret_cast<uintptr_t>(base + words), std::memory_order_release);
+  frame_count.store(index + 1, std::memory_order_release);
+}
+
+void StContext::DeregisterFrame(uintptr_t* base) {
+  const uint32_t count = frame_count.load(std::memory_order_relaxed);
+  if (count == 0 || frame_bases_[count - 1] != base) {
+    std::fprintf(stderr, "stacktrack: tracked frames must be destroyed in LIFO order\n");
+    std::abort();
+  }
+  frame_count.store(count - 1, std::memory_order_release);
+  frames[count - 1].lo.store(0, std::memory_order_release);
+  frames[count - 1].hi.store(0, std::memory_order_release);
+}
+
+void StContext::SaveRootSnapshot() {
+  std::memcpy(reg_snapshot_, live_regs_, sizeof(live_regs_));
+  const uint32_t count = frame_count.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(frame_snapshot_[i], frame_bases_[i], frame_words_[i] * sizeof(uintptr_t));
+  }
+}
+
+void StContext::RestoreRootSnapshot() {
+  std::memcpy(live_regs_, reg_snapshot_, sizeof(live_regs_));
+  const uint32_t count = frame_count.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(frame_bases_[i], frame_snapshot_[i], frame_words_[i] * sizeof(uintptr_t));
+  }
+}
+
+}  // namespace stacktrack::core

@@ -1,0 +1,59 @@
+// Lock-free hash table: fixed bucket array of Harris-Michael lists (the paper's
+// low-contention benchmark, "a lock-free hash-table based on the Harris lock-free
+// list"). All reclamation behaviour is inherited from the bucket lists.
+#ifndef STACKTRACK_DS_HASHTABLE_H_
+#define STACKTRACK_DS_HASHTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ds/list.h"
+
+namespace stacktrack::ds {
+
+template <typename Smr>
+class LockFreeHashTable {
+ public:
+  using Handle = typename Smr::Handle;
+  using Bucket = LockFreeList<Smr>;
+
+  // `bucket_count` is rounded up to a power of two.
+  explicit LockFreeHashTable(std::size_t bucket_count = 4096) {
+    std::size_t rounded = 1;
+    while (rounded < bucket_count) {
+      rounded <<= 1;
+    }
+    mask_ = rounded - 1;
+    buckets_ = std::make_unique<Bucket[]>(rounded);
+  }
+
+  bool Contains(Handle& h, uint64_t key) { return BucketOf(key).Contains(h, key); }
+  bool Insert(Handle& h, uint64_t key, uint64_t value) {
+    return BucketOf(key).Insert(h, key, value);
+  }
+  bool Remove(Handle& h, uint64_t key) { return BucketOf(key).Remove(h, key); }
+
+  std::size_t SizeUnsafe() const {
+    std::size_t total = 0;
+    for (std::size_t b = 0; b <= mask_; ++b) {
+      total += buckets_[b].SizeUnsafe();
+    }
+    return total;
+  }
+
+  std::size_t bucket_count() const { return mask_ + 1; }
+
+ private:
+  Bucket& BucketOf(uint64_t key) {
+    // Fibonacci hashing spreads sequential keys across buckets.
+    return buckets_[(key * 0x9e3779b97f4a7c15ULL >> 32) & mask_];
+  }
+
+  std::size_t mask_;
+  std::unique_ptr<Bucket[]> buckets_;
+};
+
+}  // namespace stacktrack::ds
+
+#endif  // STACKTRACK_DS_HASHTABLE_H_

@@ -1,0 +1,299 @@
+// Harris-Michael lock-free sorted linked list (the paper's "Harris list" benchmark,
+// in the hazard-pointer-compatible formulation of Michael 2004).
+//
+// Scheme-generic: instantiated with each reclamation policy (smr/*.h). Every shared
+// access goes through the policy handle; SMR_CHECKPOINT marks basic-block boundaries
+// for StackTrack's split engine (no-ops elsewhere); AnchorHop feeds drop-the-anchor.
+//
+// Deletion protocol: a node is logically deleted by setting the mark bit (LSB) of its
+// own `next` field, then physically unlinked by the CAS that swings the predecessor's
+// link; exactly the unlinking thread retires it. Traversals never pass a marked link:
+// observing a mark on pred->next means pred itself is deleted (restart), observing it
+// on curr->next means curr is deleted (snip it or restart). This invariant is what
+// makes the hazard-pointer validate step sufficient and keeps every policy safe.
+//
+// Instrumentation note: traversals are written inline in each operation (not in a
+// shared Find helper) because the StackTrack begin point must live in the operation's
+// own stack frame; the paper's compiler pass instruments post-inlining and has the
+// same shape.
+#ifndef STACKTRACK_DS_LIST_H_
+#define STACKTRACK_DS_LIST_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <new>
+
+#include "runtime/pool_alloc.h"
+#include "runtime/preempt.h"
+#include "smr/smr.h"
+
+namespace stacktrack::ds {
+
+namespace detail {
+
+inline constexpr uintptr_t kMarkBit = 1;
+
+template <typename NodePtr>
+bool IsMarked(NodePtr p) {
+  return (std::bit_cast<uintptr_t>(p) & kMarkBit) != 0;
+}
+template <typename NodePtr>
+NodePtr Marked(NodePtr p) {
+  return std::bit_cast<NodePtr>(std::bit_cast<uintptr_t>(p) | kMarkBit);
+}
+template <typename NodePtr>
+NodePtr Unmarked(NodePtr p) {
+  return std::bit_cast<NodePtr>(std::bit_cast<uintptr_t>(p) & ~kMarkBit);
+}
+
+}  // namespace detail
+
+template <typename Smr>
+class LockFreeList {
+ public:
+  using Handle = typename Smr::Handle;
+
+  struct Node {
+    std::atomic<uint64_t> key;
+    std::atomic<uint64_t> value;
+    std::atomic<Node*> next;  // LSB = logical-deletion mark
+  };
+
+  // Operation ids for the split predictor.
+  static constexpr uint32_t kOpContains = 0;
+  static constexpr uint32_t kOpInsert = 1;
+  static constexpr uint32_t kOpRemove = 2;
+
+  // Hazard slot roles. The advance step hands curr's protection to the pred slot with
+  // ProtectRaw before re-protecting curr, so pred stays covered hand-over-hand.
+  static constexpr uint32_t kSlotPred = 0;
+  static constexpr uint32_t kSlotCurr = 1;
+  static constexpr uint32_t kSlotNext = 2;
+
+  LockFreeList() { head_ = NewNode(0, 0, nullptr); }  // sentinel; never freed
+
+  ~LockFreeList() {
+    auto& pool = runtime::PoolAllocator::Instance();
+    Node* node = head_;
+    while (node != nullptr && pool.OwnsLive(node)) {
+      Node* next = detail::Unmarked(node->next.load(std::memory_order_relaxed));
+      pool.Free(node);
+      node = next;
+    }
+  }
+
+  LockFreeList(const LockFreeList&) = delete;
+  LockFreeList& operator=(const LockFreeList&) = delete;
+
+  // True when `key` is present (and not logically deleted).
+  bool Contains(Handle& h, uint64_t key) {
+    typename Smr::template Frame<3> frame(h);
+    auto pred = frame.template ptr<Node*>(0);
+    auto curr = frame.template ptr<Node*>(1);
+    auto next = frame.template ptr<Node*>(2);
+    SMR_OP_BEGIN(h, kOpContains);
+  retry:
+    SMR_CHECKPOINT(h);
+    pred = head_;
+    curr = h.Protect(pred->next, kSlotCurr);
+    if (detail::IsMarked(curr.get())) {
+      goto retry;  // unreachable for the sentinel, kept for protocol uniformity
+    }
+    while (true) {
+      SMR_CHECKPOINT(h);
+      if (curr.get() == nullptr) {
+        SMR_OP_END(h);
+        return false;
+      }
+      next = h.Protect(curr->next, kSlotNext);
+      if (detail::IsMarked(next.get())) {
+        SMR_CHECKPOINT(h);
+        // curr is logically deleted: snip it; on failure the view is stale -> restart.
+        if (!h.Cas(pred->next, curr.get(), detail::Unmarked(next.get()))) {
+          goto retry;
+        }
+        h.Retire(curr.get(), h.Load(curr->key));
+        curr = h.Protect(pred->next, kSlotCurr);
+        if (detail::IsMarked(curr.get())) {
+          goto retry;  // pred got deleted meanwhile
+        }
+        continue;
+      }
+      const uint64_t curr_key = h.Load(curr->key);
+      h.AnchorHop(curr_key);
+      runtime::PreemptPoint();
+      if (curr_key >= key) {
+        SMR_CHECKPOINT(h);
+        const bool found = curr_key == key;
+        SMR_OP_END(h);
+        return found;
+      }
+      SMR_CHECKPOINT(h);
+      h.ProtectRaw(kSlotPred, curr.get());
+      pred = curr.get();
+      curr = h.Protect(pred->next, kSlotCurr);
+      if (detail::IsMarked(curr.get())) {
+        goto retry;  // pred itself was deleted
+      }
+    }
+  }
+
+  // Inserts (key, value); false if the key already exists.
+  bool Insert(Handle& h, uint64_t key, uint64_t value) {
+    Node* fresh = NewNode(key, value, nullptr);  // allocated outside any segment
+    typename Smr::template Frame<4> frame(h);
+    auto pred = frame.template ptr<Node*>(0);
+    auto curr = frame.template ptr<Node*>(1);
+    auto next = frame.template ptr<Node*>(2);
+    auto node = frame.template ptr<Node*>(3);
+    node = fresh;
+    SMR_OP_BEGIN(h, kOpInsert);
+  retry:
+    SMR_CHECKPOINT(h);
+    pred = head_;
+    curr = h.Protect(pred->next, kSlotCurr);
+    if (detail::IsMarked(curr.get())) {
+      goto retry;
+    }
+    while (true) {
+      SMR_CHECKPOINT(h);
+      if (curr.get() != nullptr) {
+        next = h.Protect(curr->next, kSlotNext);
+        if (detail::IsMarked(next.get())) {
+          SMR_CHECKPOINT(h);
+          if (!h.Cas(pred->next, curr.get(), detail::Unmarked(next.get()))) {
+            goto retry;
+          }
+          h.Retire(curr.get(), h.Load(curr->key));
+          curr = h.Protect(pred->next, kSlotCurr);
+          if (detail::IsMarked(curr.get())) {
+            goto retry;
+          }
+          continue;
+        }
+        const uint64_t curr_key = h.Load(curr->key);
+        h.AnchorHop(curr_key);
+      runtime::PreemptPoint();
+        if (curr_key == key) {
+          SMR_OP_END(h);
+          runtime::PoolAllocator::Instance().Free(node.get());  // never published
+          return false;
+        }
+        if (curr_key < key) {
+          SMR_CHECKPOINT(h);
+          h.ProtectRaw(kSlotPred, curr.get());
+          pred = curr.get();
+          curr = h.Protect(pred->next, kSlotCurr);
+          if (detail::IsMarked(curr.get())) {
+            goto retry;
+          }
+          continue;
+        }
+      }
+      SMR_CHECKPOINT(h);
+      // Link before curr. The node is still private: a plain store is fine.
+      node->next.store(curr.get(), std::memory_order_relaxed);
+      if (h.Cas(pred->next, curr.get(), node.get())) {
+        SMR_OP_END(h);
+        return true;
+      }
+      goto retry;
+    }
+  }
+
+  // Removes `key`; false if absent.
+  bool Remove(Handle& h, uint64_t key) {
+    typename Smr::template Frame<3> frame(h);
+    auto pred = frame.template ptr<Node*>(0);
+    auto curr = frame.template ptr<Node*>(1);
+    auto next = frame.template ptr<Node*>(2);
+    SMR_OP_BEGIN(h, kOpRemove);
+  retry:
+    SMR_CHECKPOINT(h);
+    pred = head_;
+    curr = h.Protect(pred->next, kSlotCurr);
+    if (detail::IsMarked(curr.get())) {
+      goto retry;
+    }
+    while (true) {
+      SMR_CHECKPOINT(h);
+      if (curr.get() == nullptr) {
+        SMR_OP_END(h);
+        return false;
+      }
+      next = h.Protect(curr->next, kSlotNext);
+      if (detail::IsMarked(next.get())) {
+        SMR_CHECKPOINT(h);
+        if (!h.Cas(pred->next, curr.get(), detail::Unmarked(next.get()))) {
+          goto retry;
+        }
+        h.Retire(curr.get(), h.Load(curr->key));
+        curr = h.Protect(pred->next, kSlotCurr);
+        if (detail::IsMarked(curr.get())) {
+          goto retry;
+        }
+        continue;
+      }
+      const uint64_t curr_key = h.Load(curr->key);
+      h.AnchorHop(curr_key);
+      runtime::PreemptPoint();
+      if (curr_key > key) {
+        SMR_OP_END(h);
+        return false;
+      }
+      if (curr_key == key) {
+        SMR_CHECKPOINT(h);
+        // Logical deletion: mark curr's next. Another remover may beat us to it.
+        if (!h.Cas(curr->next, next.get(), detail::Marked(next.get()))) {
+          goto retry;
+        }
+        // Physical unlink; exactly the unlinking thread retires. On failure some
+        // traversal will snip (and retire) it.
+        if (h.Cas(pred->next, curr.get(), next.get())) {
+          h.Retire(curr.get(), curr_key);
+        }
+        SMR_OP_END(h);
+        return true;
+      }
+      SMR_CHECKPOINT(h);
+      h.ProtectRaw(kSlotPred, curr.get());
+      pred = curr.get();
+      curr = h.Protect(pred->next, kSlotCurr);
+      if (detail::IsMarked(curr.get())) {
+        goto retry;
+      }
+    }
+  }
+
+  // Unsynchronized size (tests / setup only).
+  std::size_t SizeUnsafe() const {
+    std::size_t count = 0;
+    const Node* node = detail::Unmarked(head_->next.load(std::memory_order_acquire));
+    while (node != nullptr) {
+      if (!detail::IsMarked(node->next.load(std::memory_order_acquire))) {
+        ++count;
+      }
+      node = detail::Unmarked(node->next.load(std::memory_order_acquire));
+    }
+    return count;
+  }
+
+  Node* head() const { return head_; }
+
+  static Node* NewNode(uint64_t key, uint64_t value, Node* next) {
+    void* memory = runtime::PoolAllocator::Instance().Alloc(sizeof(Node));
+    Node* node = new (memory) Node();
+    node->key.store(key, std::memory_order_relaxed);
+    node->value.store(value, std::memory_order_relaxed);
+    node->next.store(next, std::memory_order_relaxed);
+    return node;
+  }
+
+ private:
+  Node* head_;  // sentinel
+};
+
+}  // namespace stacktrack::ds
+
+#endif  // STACKTRACK_DS_LIST_H_

@@ -1,0 +1,172 @@
+// Michael-Scott lock-free FIFO queue (PODC'96), the paper's high-contention benchmark.
+//
+// Scheme-generic like the list. The dequeuer that swings `head` retires the old dummy
+// node; Peek provides the read-only operation for mixed workloads.
+#ifndef STACKTRACK_DS_QUEUE_H_
+#define STACKTRACK_DS_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <optional>
+
+#include "runtime/pool_alloc.h"
+#include "runtime/preempt.h"
+#include "smr/smr.h"
+
+namespace stacktrack::ds {
+
+template <typename Smr>
+class LockFreeQueue {
+ public:
+  using Handle = typename Smr::Handle;
+
+  struct Node {
+    std::atomic<uint64_t> value;
+    std::atomic<Node*> next;
+  };
+
+  static constexpr uint32_t kOpEnqueue = 3;
+  static constexpr uint32_t kOpDequeue = 4;
+  static constexpr uint32_t kOpPeek = 5;
+
+  static constexpr uint32_t kSlotHead = 0;
+  static constexpr uint32_t kSlotTail = 1;
+  static constexpr uint32_t kSlotNext = 2;
+
+  LockFreeQueue() {
+    Node* dummy = NewNode(0, nullptr);
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~LockFreeQueue() {
+    auto& pool = runtime::PoolAllocator::Instance();
+    Node* node = head_.load(std::memory_order_relaxed);
+    while (node != nullptr && pool.OwnsLive(node)) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      pool.Free(node);
+      node = next;
+    }
+  }
+
+  LockFreeQueue(const LockFreeQueue&) = delete;
+  LockFreeQueue& operator=(const LockFreeQueue&) = delete;
+
+  void Enqueue(Handle& h, uint64_t value) {
+    Node* fresh = NewNode(value, nullptr);
+    typename Smr::template Frame<3> frame(h);
+    auto tail = frame.template ptr<Node*>(0);
+    auto next = frame.template ptr<Node*>(1);
+    auto node = frame.template ptr<Node*>(2);
+    node = fresh;
+    SMR_OP_BEGIN(h, kOpEnqueue);
+    while (true) {
+      SMR_CHECKPOINT(h);
+      runtime::PreemptPoint();
+      tail = h.Protect(tail_, kSlotTail);
+      next = h.Protect(tail->next, kSlotNext);
+      if (tail.get() != h.Load(tail_)) {
+        continue;  // tail moved under us; re-read
+      }
+      if (next.get() != nullptr) {
+        SMR_CHECKPOINT(h);
+        h.Cas(tail_, tail.get(), next.get());  // help the lagging tail along
+        continue;
+      }
+      SMR_CHECKPOINT(h);
+      if (h.Cas(tail->next, static_cast<Node*>(nullptr), node.get())) {
+        h.Cas(tail_, tail.get(), node.get());  // best-effort swing
+        SMR_OP_END(h);
+        return;
+      }
+    }
+  }
+
+  // Empty queue -> nullopt.
+  std::optional<uint64_t> Dequeue(Handle& h) {
+    typename Smr::template Frame<3> frame(h);
+    auto head = frame.template ptr<Node*>(0);
+    auto tail = frame.template ptr<Node*>(1);
+    auto next = frame.template ptr<Node*>(2);
+    SMR_OP_BEGIN(h, kOpDequeue);
+    while (true) {
+      SMR_CHECKPOINT(h);
+      runtime::PreemptPoint();
+      head = h.Protect(head_, kSlotHead);
+      tail = h.Load(tail_);
+      next = h.Protect(head->next, kSlotNext);
+      if (head.get() != h.Load(head_)) {
+        continue;  // head moved; hazards must be re-validated
+      }
+      if (head.get() == tail.get()) {
+        SMR_CHECKPOINT(h);
+        if (next.get() == nullptr) {
+          SMR_OP_END(h);
+          return std::nullopt;
+        }
+        h.Cas(tail_, tail.get(), next.get());  // tail lagging behind
+        continue;
+      }
+      SMR_CHECKPOINT(h);
+      const uint64_t value = h.Load(next->value);
+      if (h.Cas(head_, head.get(), next.get())) {
+        h.Retire(head.get());  // old dummy; next is the new dummy
+        SMR_OP_END(h);
+        return value;
+      }
+    }
+  }
+
+  // Read-only front inspection; nullopt when empty.
+  std::optional<uint64_t> Peek(Handle& h) {
+    typename Smr::template Frame<2> frame(h);
+    auto head = frame.template ptr<Node*>(0);
+    auto next = frame.template ptr<Node*>(1);
+    SMR_OP_BEGIN(h, kOpPeek);
+    while (true) {
+      SMR_CHECKPOINT(h);
+      runtime::PreemptPoint();
+      head = h.Protect(head_, kSlotHead);
+      next = h.Protect(head->next, kSlotNext);
+      if (head.get() != h.Load(head_)) {
+        continue;
+      }
+      SMR_CHECKPOINT(h);
+      if (next.get() == nullptr) {
+        SMR_OP_END(h);
+        return std::nullopt;
+      }
+      const uint64_t value = h.Load(next->value);
+      SMR_OP_END(h);
+      return value;
+    }
+  }
+
+  // Unsynchronized length (tests / setup only).
+  std::size_t SizeUnsafe() const {
+    std::size_t count = 0;
+    const Node* node = head_.load(std::memory_order_acquire)->next.load(std::memory_order_acquire);
+    while (node != nullptr) {
+      ++count;
+      node = node->next.load(std::memory_order_acquire);
+    }
+    return count;
+  }
+
+  static Node* NewNode(uint64_t value, Node* next) {
+    void* memory = runtime::PoolAllocator::Instance().Alloc(sizeof(Node));
+    Node* node = new (memory) Node();
+    node->value.store(value, std::memory_order_relaxed);
+    node->next.store(next, std::memory_order_relaxed);
+    return node;
+  }
+
+ private:
+  alignas(runtime::kCacheLineSize) std::atomic<Node*> head_;
+  alignas(runtime::kCacheLineSize) std::atomic<Node*> tail_;
+};
+
+}  // namespace stacktrack::ds
+
+#endif  // STACKTRACK_DS_QUEUE_H_

@@ -1,0 +1,34 @@
+#include "htm/htm.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stacktrack::htm {
+
+// Implemented in rtm_backend.cc (real or stub, depending on STACKTRACK_HAVE_RTM).
+bool RtmUsableImpl();
+int RtmBeginPointImpl();
+void RtmCommitImpl();
+[[noreturn]] void RtmAbortImpl(uint8_t code);
+bool RtmInTxImpl();
+
+bool RtmUsable() { return RtmUsableImpl(); }
+int RtmBeginPoint() { return RtmBeginPointImpl(); }
+void RtmCommit() { RtmCommitImpl(); }
+void RtmAbort(uint8_t code) { RtmAbortImpl(code); }
+bool RtmInTx() { return RtmInTxImpl(); }
+
+void SelectBackend(BackendKind kind) {
+  if (kind == BackendKind::kRtm && !RtmUsable()) {
+    std::fprintf(stderr,
+                 "stacktrack: RTM backend requested but TSX is unusable on this machine; "
+                 "keeping the software backend\n");
+    internal::g_backend = BackendKind::kSoft;
+    return;
+  }
+  internal::g_backend = kind;
+}
+
+BackendKind ActiveBackend() { return internal::g_backend; }
+
+}  // namespace stacktrack::htm

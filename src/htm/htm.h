@@ -1,0 +1,178 @@
+// Best-effort hardware-transactional-memory abstraction.
+//
+// StackTrack needs four things from an HTM (§2, §4 of the paper):
+//   1. atomic segments: a group of reads/writes commits entirely or not at all,
+//   2. conflict aborts: a segment that read a location later modified (including by the
+//      reclaimer poisoning a freed node) must abort before misbehaving,
+//   3. capacity aborts when the footprint exceeds the cache budget, and
+//   4. a best-effort contract — no progress guarantee, so a software fallback exists.
+//
+// Two backends provide this contract:
+//   * kSoft — a TL2-style software transactional memory over a global striped version
+//     table (htm/soft_backend.h). This is the default: it works on any machine and its
+//     capacity/spurious-abort behaviour is driven by runtime::MachineModel so the
+//     paper's 4-core/8-thread regimes are reproducible on this 1-core host.
+//   * kRtm — real Intel TSX RTM (htm/rtm_backend.h), selectable when the CPU supports
+//     it and a runtime probe shows transactions can actually commit (TSX is microcode-
+//     disabled on many parts).
+//
+// Begin-point protocol: a transaction must be (re)entered through the
+// ST_HTM_BEGIN_POINT() macro, expanded in a stack frame that outlives the whole
+// segment (the data-structure operation's frame). It evaluates to 0 when a fresh
+// transaction has started, or to an AbortCause value when execution resumed here
+// because the previous attempt aborted. With RTM the hardware rewinds to this point;
+// with the soft backend a setjmp/longjmp pair does, and the caller must treat all
+// locals mutated inside the segment as rolled back (the split engine keeps them in the
+// tracked frame, which it snapshots and restores).
+#ifndef STACKTRACK_HTM_HTM_H_
+#define STACKTRACK_HTM_HTM_H_
+
+#include <atomic>
+#include <bit>
+#include <csetjmp>
+#include <cstdint>
+
+#include "htm/soft_backend.h"
+
+namespace stacktrack::htm {
+
+enum class BackendKind : uint8_t { kSoft, kRtm };
+
+// Begin-point return values. 0 == transaction started; nonzero values are AbortCause
+// codes from the attempt that just failed.
+inline constexpr int kTxStarted = 0;
+
+enum class AbortCause : uint8_t {
+  kNone = 0,
+  kConflict = 1,  // data conflict with another thread (or reclaimer poisoning)
+  kCapacity = 2,  // footprint exceeded the cache budget
+  kExplicit = 3,  // TxAbort() called by the program
+  kOther = 4,     // timer interrupts, unsupported instructions, ...
+};
+
+// Selects the backend for subsequent transactions. Must be called while no
+// transactions are running (benchmarks call it during setup).
+void SelectBackend(BackendKind kind);
+BackendKind ActiveBackend();
+
+// True when the CPU advertises RTM *and* a probe transaction managed to commit.
+bool RtmUsable();
+
+// ---- RTM primitives (implemented in rtm_backend.cc; stubs when not compiled in) ----
+int RtmBeginPoint();             // xbegin; returns kTxStarted or an AbortCause
+void RtmCommit();                // xend
+[[noreturn]] void RtmAbort(uint8_t code);
+bool RtmInTx();
+
+namespace internal {
+// Non-atomic on purpose: set once during single-threaded setup.
+inline BackendKind g_backend = BackendKind::kSoft;
+}  // namespace internal
+
+inline BackendKind ActiveBackendFast() { return internal::g_backend; }
+
+inline bool InTx() {
+  return ActiveBackendFast() == BackendKind::kRtm ? RtmInTx() : soft::CurrentTx().active;
+}
+
+// Commits the running transaction. With the soft backend a failed validation aborts
+// (longjmp back to the begin point) instead of returning.
+inline void TxCommit() {
+  if (ActiveBackendFast() == BackendKind::kRtm) {
+    RtmCommit();
+  } else {
+    soft::Commit();
+  }
+}
+
+[[noreturn]] inline void TxAbort(AbortCause cause) {
+  if (ActiveBackendFast() == BackendKind::kRtm) {
+    RtmAbort(static_cast<uint8_t>(cause));
+  } else {
+    soft::Abort(static_cast<int>(cause));
+  }
+}
+
+// ---- Transactional data access -------------------------------------------------
+// T must be a trivially copyable 8-byte type (pointers, uint64_t); the data structures
+// in src/ds/ declare all shared fields that way so the soft backend can buffer writes
+// as words.
+
+template <typename T>
+inline T TxLoad(const std::atomic<T>& src) {
+  static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+  if (ActiveBackendFast() == BackendKind::kRtm) {
+    return src.load(std::memory_order_acquire);
+  }
+  return std::bit_cast<T>(soft::TxLoadWord(
+      reinterpret_cast<const std::atomic<uint64_t>*>(&src)));
+}
+
+template <typename T>
+inline void TxStore(std::atomic<T>& dst, T value) {
+  static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+  if (ActiveBackendFast() == BackendKind::kRtm) {
+    dst.store(value, std::memory_order_release);
+    return;
+  }
+  soft::TxStoreWord(reinterpret_cast<std::atomic<uint64_t>*>(&dst), std::bit_cast<uint64_t>(value));
+}
+
+// ---- Non-transactional interop --------------------------------------------------
+// Used by the slow path and the reclaimer. With RTM, plain atomics suffice (strong
+// isolation); with the soft backend these respect stripe versions so that concurrent
+// fast-path segments observe conflicts and torn reads are impossible.
+
+template <typename T>
+inline T SafeLoad(const std::atomic<T>& src) {
+  static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+  if (ActiveBackendFast() == BackendKind::kRtm) {
+    return src.load(std::memory_order_acquire);
+  }
+  return std::bit_cast<T>(soft::SafeLoadWord(
+      reinterpret_cast<const std::atomic<uint64_t>*>(&src)));
+}
+
+template <typename T>
+inline void SafeStore(std::atomic<T>& dst, T value) {
+  static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+  if (ActiveBackendFast() == BackendKind::kRtm) {
+    dst.store(value, std::memory_order_release);
+    return;
+  }
+  soft::SafeStoreWord(reinterpret_cast<std::atomic<uint64_t>*>(&dst), std::bit_cast<uint64_t>(value));
+}
+
+template <typename T>
+inline bool SafeCas(std::atomic<T>& dst, T expected, T desired) {
+  static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>);
+  if (ActiveBackendFast() == BackendKind::kRtm) {
+    return dst.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+  }
+  return soft::SafeCasWord(reinterpret_cast<std::atomic<uint64_t>*>(&dst),
+                           std::bit_cast<uint64_t>(expected), std::bit_cast<uint64_t>(desired));
+}
+
+// Bumps the version of every cache line in [addr, addr + length) so that any running
+// soft transaction that read the range aborts. Called by the reclaimer just before a
+// node's memory is poisoned and returned to the pool. No-op under RTM (the poisoning
+// stores themselves conflict).
+inline void QuarantineRange(const void* addr, std::size_t length) {
+  if (ActiveBackendFast() == BackendKind::kSoft) {
+    soft::QuarantineRange(reinterpret_cast<uintptr_t>(addr), length);
+  }
+}
+
+// jmp target for the soft backend's begin point; lives in the per-thread descriptor.
+inline std::jmp_buf* SoftJmpTarget() { return &soft::CurrentTx().env; }
+
+// Arms/starts a transaction at this point. See the file comment for the frame-lifetime
+// contract. `setjmp` must appear literally at the expansion site.
+#define ST_HTM_BEGIN_POINT()                                                     \
+  (::stacktrack::htm::ActiveBackendFast() == ::stacktrack::htm::BackendKind::kRtm \
+       ? ::stacktrack::htm::RtmBeginPoint()                                       \
+       : ::stacktrack::htm::soft::BeginPoint(setjmp(*::stacktrack::htm::SoftJmpTarget())))
+
+}  // namespace stacktrack::htm
+
+#endif  // STACKTRACK_HTM_HTM_H_

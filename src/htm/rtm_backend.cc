@@ -1,0 +1,109 @@
+// Intel TSX RTM backend. Compiled with -mrtm when the toolchain supports it; the
+// STACKTRACK_HAVE_RTM guard keeps a portable stub otherwise. Even when compiled in,
+// the backend refuses to run unless (a) CPUID advertises RTM and (b) a probe
+// transaction actually commits — TSX is fused off or microcode-disabled (TAA
+// mitigations) on many parts that still set the CPUID bit.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(STACKTRACK_HAVE_RTM)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+namespace stacktrack::htm {
+
+// AbortCause codes, duplicated to avoid including htm.h from a -mrtm TU.
+namespace {
+constexpr int kCauseConflict = 1;
+constexpr int kCauseCapacity = 2;
+constexpr int kCauseExplicit = 3;
+constexpr int kCauseOther = 4;
+}  // namespace
+
+#if defined(STACKTRACK_HAVE_RTM)
+
+namespace {
+
+bool CpuidHasRtm() {
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  return (ebx & (1u << 11)) != 0;  // CPUID.7.0:EBX.RTM
+}
+
+// Attempts a handful of trivial transactions; reports whether any committed.
+bool ProbeCommit() {
+  volatile uint64_t sink = 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const unsigned status = _xbegin();
+    if (status == _XBEGIN_STARTED) {
+      sink = sink + 1;
+      _xend();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RtmUsableImpl() {
+  static const bool usable = CpuidHasRtm() && ProbeCommit();
+  return usable;
+}
+
+int RtmBeginPointImpl() {
+  const unsigned status = _xbegin();
+  if (status == _XBEGIN_STARTED) {
+    return 0;
+  }
+  if ((status & _XABORT_EXPLICIT) != 0) {
+    return kCauseExplicit;
+  }
+  if ((status & _XABORT_CAPACITY) != 0) {
+    return kCauseCapacity;
+  }
+  if ((status & (_XABORT_CONFLICT | _XABORT_RETRY)) != 0) {
+    return kCauseConflict;
+  }
+  return kCauseOther;
+}
+
+void RtmCommitImpl() { _xend(); }
+
+[[noreturn]] void RtmAbortImpl(uint8_t /*code*/) {
+  // _xabort requires an immediate operand; a single code suffices since the cause is
+  // recovered from the _XABORT_EXPLICIT status bit.
+  _xabort(0xff);
+  __builtin_unreachable();
+}
+
+bool RtmInTxImpl() { return _xtest() != 0; }
+
+#else  // !STACKTRACK_HAVE_RTM
+
+bool RtmUsableImpl() { return false; }
+
+int RtmBeginPointImpl() { return kCauseOther; }
+
+void RtmCommitImpl() {
+  std::fprintf(stderr, "stacktrack: RTM backend not compiled in\n");
+  std::abort();
+}
+
+[[noreturn]] void RtmAbortImpl(uint8_t /*code*/) {
+  std::fprintf(stderr, "stacktrack: RTM backend not compiled in\n");
+  std::abort();
+}
+
+bool RtmInTxImpl() { return false; }
+
+#endif  // STACKTRACK_HAVE_RTM
+
+}  // namespace stacktrack::htm

@@ -1,0 +1,49 @@
+// Bounded exponential backoff for contended retry loops (CAS failure, transaction
+// abort, stripe-lock acquisition).
+#ifndef STACKTRACK_RUNTIME_BACKOFF_H_
+#define STACKTRACK_RUNTIME_BACKOFF_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace stacktrack::runtime {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(uint32_t min_spins = 4, uint32_t max_spins = 1024)
+      : limit_(min_spins), min_(min_spins), max_(max_spins) {}
+
+  // Spin for the current budget, then double it (saturating at max).
+  void Pause() {
+    for (uint32_t i = 0; i < limit_; ++i) {
+      CpuRelax();
+    }
+    if (limit_ < max_) {
+      limit_ *= 2;
+    }
+  }
+
+  void Reset() { limit_ = min_; }
+
+  uint32_t current_limit() const { return limit_; }
+
+ private:
+  uint32_t limit_;
+  uint32_t min_;
+  uint32_t max_;
+};
+
+}  // namespace stacktrack::runtime
+
+#endif  // STACKTRACK_RUNTIME_BACKOFF_H_

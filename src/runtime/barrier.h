@@ -1,0 +1,79 @@
+// Sense-reversing spin barrier for benchmark phase alignment. All worker threads must
+// enter the measured region at the same instant or per-thread throughput numbers skew.
+#ifndef STACKTRACK_RUNTIME_BARRIER_H_
+#define STACKTRACK_RUNTIME_BARRIER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/backoff.h"
+#include "runtime/cacheline.h"
+
+namespace stacktrack::runtime {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t participants) : participants_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks (spinning, with yields folded in by the caller's scheduler) until all
+  // participants have arrived. Safe to reuse for successive phases.
+  void Wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    ExponentialBackoff backoff(16, 4096);
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      backoff.Pause();
+    }
+  }
+
+ private:
+  const uint32_t participants_;
+  alignas(kCacheLineSize) std::atomic<uint32_t> arrived_{0};
+  alignas(kCacheLineSize) std::atomic<bool> sense_{false};
+};
+
+// Tiny test-and-test-and-set spin lock for cold paths (registry mutation, shard maps).
+class SpinLatch {
+ public:
+  void Lock() {
+    ExponentialBackoff backoff;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard for SpinLatch.
+class LatchGuard {
+ public:
+  explicit LatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~LatchGuard() { latch_.Unlock(); }
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+}  // namespace stacktrack::runtime
+
+#endif  // STACKTRACK_RUNTIME_BARRIER_H_

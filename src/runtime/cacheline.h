@@ -1,0 +1,43 @@
+// Cache-line geometry and padding helpers shared by every module.
+#ifndef STACKTRACK_RUNTIME_CACHELINE_H_
+#define STACKTRACK_RUNTIME_CACHELINE_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace stacktrack::runtime {
+
+// We hard-code 64 bytes rather than using std::hardware_destructive_interference_size:
+// the constant must agree with htm::StripeTable's conflict granularity (one "HTM cache
+// line" per stripe) across translation units and compiler versions.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps a value so that it owns one or more whole cache lines, preventing false
+// sharing between adjacent array elements (per-thread slots, stripe counters, ...).
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+
+ private:
+  // Round the footprint up to a full line even when sizeof(T) % 64 != 0.
+  char padding_[kCacheLineSize - (sizeof(T) % kCacheLineSize ? sizeof(T) % kCacheLineSize : kCacheLineSize)] = {};
+};
+
+// Number of cache lines a byte range [addr, addr + size) touches.
+constexpr std::size_t LinesTouched(std::size_t size) {
+  return (size + kCacheLineSize - 1) / kCacheLineSize;
+}
+
+}  // namespace stacktrack::runtime
+
+#endif  // STACKTRACK_RUNTIME_CACHELINE_H_

@@ -1,0 +1,45 @@
+#include "runtime/heap_registry.h"
+
+namespace stacktrack::runtime {
+
+HeapRegistry& HeapRegistry::Instance() {
+  static HeapRegistry registry;
+  return registry;
+}
+
+void HeapRegistry::Insert(uintptr_t base, std::size_t length) {
+  Shard& shard = shards_[ShardOf(base)].value;
+  LatchGuard guard(shard.latch);
+  shard.ranges[base] = length;
+}
+
+void HeapRegistry::Erase(uintptr_t base) {
+  Shard& shard = shards_[ShardOf(base)].value;
+  LatchGuard guard(shard.latch);
+  shard.ranges.erase(base);
+}
+
+uintptr_t HeapRegistry::OwningObject(uintptr_t addr) const {
+  const Shard& shard = shards_[ShardOf(addr)].value;
+  LatchGuard guard(shard.latch);
+  auto it = shard.ranges.upper_bound(addr);
+  if (it == shard.ranges.begin()) {
+    return 0;
+  }
+  --it;
+  if (addr < it->first + it->second) {
+    return it->first;
+  }
+  return 0;
+}
+
+std::size_t HeapRegistry::live_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    LatchGuard guard(shard.value.latch);
+    total += shard.value.ranges.size();
+  }
+  return total;
+}
+
+}  // namespace stacktrack::runtime

@@ -1,0 +1,65 @@
+// Range index over live dynamic allocations.
+//
+// Mirrors the paper's malloc-hook side table (§5.5): every allocation registers
+// (start, length); the StackTrack free procedure then resolves *interior* pointers
+// (array element addresses, member addresses) back to the owning object so a hidden
+// `base + k` reference still protects the object.
+//
+// Sharding: the pool allocator hands out objects from 2 MiB-aligned slabs and never
+// lets an object span a 2 MiB boundary, so the shard of any interior address equals
+// the shard of its base address and queries stay single-shard.
+#ifndef STACKTRACK_RUNTIME_HEAP_REGISTRY_H_
+#define STACKTRACK_RUNTIME_HEAP_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "runtime/barrier.h"
+#include "runtime/cacheline.h"
+
+namespace stacktrack::runtime {
+
+class HeapRegistry {
+ public:
+  static HeapRegistry& Instance();
+
+  HeapRegistry(const HeapRegistry&) = delete;
+  HeapRegistry& operator=(const HeapRegistry&) = delete;
+
+  // Records a live allocation [base, base + length).
+  void Insert(uintptr_t base, std::size_t length);
+
+  // Removes the record. No-op if absent (e.g., foreign memory).
+  void Erase(uintptr_t base);
+
+  // If `addr` lies inside a registered allocation, returns its base; otherwise 0.
+  // An exact base address also returns itself.
+  uintptr_t OwningObject(uintptr_t addr) const;
+
+  // True when `addr` points into the allocation starting at `base`.
+  bool SameObject(uintptr_t base, uintptr_t addr) const { return OwningObject(addr) == base; }
+
+  std::size_t live_count() const;
+
+ private:
+  HeapRegistry() = default;
+
+  static constexpr std::size_t kShardCount = 256;
+  static constexpr std::size_t kRegionShift = 21;  // 2 MiB regions
+
+  static std::size_t ShardOf(uintptr_t addr) {
+    return (addr >> kRegionShift) * 0x9e3779b97f4a7c15ULL >> 56 & (kShardCount - 1);
+  }
+
+  struct Shard {
+    mutable SpinLatch latch;
+    std::map<uintptr_t, std::size_t> ranges;  // base -> length
+  };
+
+  CacheAligned<Shard> shards_[kShardCount];
+};
+
+}  // namespace stacktrack::runtime
+
+#endif  // STACKTRACK_RUNTIME_HEAP_REGISTRY_H_

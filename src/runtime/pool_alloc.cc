@@ -1,0 +1,164 @@
+#include "runtime/pool_alloc.h"
+
+#include <execinfo.h>
+#include <sys/mman.h>
+
+#include <atomic>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runtime/heap_registry.h"
+
+namespace stacktrack::runtime {
+namespace {
+
+// Reserves `bytes` of anonymous memory aligned to `bytes` (power of two) by
+// over-mapping and trimming the misaligned head/tail.
+void* MapAligned(std::size_t bytes) {
+  const std::size_t span = bytes * 2;
+  void* raw = mmap(nullptr, span, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) {
+    return nullptr;
+  }
+  const uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+  const uintptr_t aligned = (base + bytes - 1) & ~(bytes - 1);
+  const std::size_t head = aligned - base;
+  if (head != 0) {
+    munmap(raw, head);
+  }
+  const std::size_t tail = span - head - bytes;
+  if (tail != 0) {
+    munmap(reinterpret_cast<void*>(aligned + bytes), tail);
+  }
+  return reinterpret_cast<void*>(aligned);
+}
+
+}  // namespace
+
+PoolAllocator& PoolAllocator::Instance() {
+  static PoolAllocator allocator;
+  return allocator;
+}
+
+std::size_t PoolAllocator::ClassIndexFor(std::size_t size) {
+  std::size_t index = 0;
+  std::size_t bytes = kMinClassBytes;
+  while (bytes < size) {
+    bytes <<= 1;
+    ++index;
+  }
+  if (index >= kClassCount) {
+    std::fprintf(stderr, "stacktrack: pool allocation of %zu bytes exceeds the largest class\n",
+                 size);
+    std::abort();
+  }
+  return index;
+}
+
+void PoolAllocator::RefillClass(SizeClass& size_class) {
+  char* slab = static_cast<char*>(MapAligned(kSlabBytes));
+  if (slab == nullptr) {
+    std::fprintf(stderr, "stacktrack: pool slab mmap failed\n");
+    std::abort();
+  }
+  bytes_mapped_.fetch_add(kSlabBytes, std::memory_order_relaxed);
+  size_class.bump_cursor = slab;
+  size_class.bump_limit = slab + kSlabBytes;
+}
+
+void* PoolAllocator::Alloc(std::size_t size) {
+  const std::size_t index = ClassIndexFor(size);
+  SizeClass& size_class = classes_[index].value;
+  BlockHeader* header = nullptr;
+  {
+    LatchGuard guard(size_class.latch);
+    if (size_class.block_bytes == 0) {
+      size_class.block_bytes = kHeaderBytes + ClassUserBytes(index);
+    }
+    if (size_class.free_head != nullptr) {
+      header = static_cast<BlockHeader*>(size_class.free_head);
+      size_class.free_head = header->next_free;
+      --size_class.free_count;
+    } else {
+      if (size_class.bump_cursor == nullptr ||
+          size_class.bump_cursor + size_class.block_bytes > size_class.bump_limit) {
+        RefillClass(size_class);
+      }
+      header = reinterpret_cast<BlockHeader*>(size_class.bump_cursor);
+      size_class.bump_cursor += size_class.block_bytes;
+    }
+  }
+  header->class_index = static_cast<uint32_t>(index);
+  header->magic = kLiveMagic;
+  header->next_free = nullptr;
+  void* user = reinterpret_cast<char*>(header) + kHeaderBytes;
+  HeapRegistry::Instance().Insert(reinterpret_cast<uintptr_t>(user), ClassUserBytes(index));
+  live_objects_.fetch_add(1, std::memory_order_relaxed);
+  total_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return user;
+}
+
+void PoolAllocator::Free(void* ptr) {
+  BlockHeader* header = HeaderOf(ptr);
+  if (header->magic != kLiveMagic) {
+    std::fprintf(stderr, "stacktrack: pool free of invalid or double-freed block %p (magic %x)\n",
+                 ptr, header->magic);
+    void* frames[32];
+    backtrace_symbols_fd(frames, backtrace(frames, 32), 2);
+    std::abort();
+  }
+  const std::size_t index = header->class_index;
+  HeapRegistry::Instance().Erase(reinterpret_cast<uintptr_t>(ptr));
+  // Poison with word-atomic stores, NOT memset: a speculative (zombie) reader racing
+  // with the free must observe either the old word or the full poison word. A torn
+  // mix could masquerade as an unmarked pointer and send the zombie off the pool
+  // before its commit-time validation aborts it (see htm/soft_backend.h).
+  uint64_t poison_word;
+  std::memset(&poison_word, kPoisonByte, sizeof(poison_word));
+  auto* words = reinterpret_cast<std::atomic<uint64_t>*>(ptr);
+  for (std::size_t w = 0; w < ClassUserBytes(index) / sizeof(uint64_t); ++w) {
+    words[w].store(poison_word, std::memory_order_relaxed);
+  }
+  header->magic = kFreeMagic;
+  SizeClass& size_class = classes_[index].value;
+  {
+    LatchGuard guard(size_class.latch);
+    header->next_free = size_class.free_head;
+    size_class.free_head = header;
+    ++size_class.free_count;
+  }
+  live_objects_.fetch_sub(1, std::memory_order_relaxed);
+  total_frees_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t PoolAllocator::UsableSize(const void* ptr) const {
+  return ClassUserBytes(HeaderOf(ptr)->class_index);
+}
+
+bool PoolAllocator::OwnsLive(const void* ptr) const {
+  return HeapRegistry::Instance().OwningObject(reinterpret_cast<uintptr_t>(ptr)) ==
+         reinterpret_cast<uintptr_t>(ptr);
+}
+
+PoolStats PoolAllocator::GetStats() const {
+  PoolStats stats;
+  stats.bytes_mapped = bytes_mapped_.load(std::memory_order_relaxed);
+  stats.live_objects = live_objects_.load(std::memory_order_relaxed);
+  stats.total_allocs = total_allocs_.load(std::memory_order_relaxed);
+  stats.total_frees = total_frees_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool PoolAllocator::IsPoisoned(const void* ptr, std::size_t length) {
+  const auto* bytes = static_cast<const uint8_t*>(ptr);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (bytes[i] != kPoisonByte) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stacktrack::runtime

@@ -1,0 +1,105 @@
+// Type-stable pool allocator for reclamation-managed nodes.
+//
+// Properties the reclamation schemes rely on:
+//  * Memory handed out comes from 2 MiB-aligned slabs that are NEVER unmapped, so a
+//    speculative (doomed) reader inside a software-HTM segment can dereference a stale
+//    node pointer without faulting — the same safety HTM isolation provides on silicon.
+//  * An object never spans a 2 MiB boundary (keeps HeapRegistry queries single-shard).
+//  * Freed objects are poisoned with kPoisonByte so tests and assertions can detect
+//    use-after-free values deterministically.
+//  * Every allocation is registered in HeapRegistry (interior-pointer resolution) and
+//    deregistered on free.
+#ifndef STACKTRACK_RUNTIME_POOL_ALLOC_H_
+#define STACKTRACK_RUNTIME_POOL_ALLOC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/barrier.h"
+#include "runtime/cacheline.h"
+
+namespace stacktrack::runtime {
+
+inline constexpr uint8_t kPoisonByte = 0xDD;
+
+struct PoolStats {
+  std::size_t bytes_mapped = 0;
+  std::size_t live_objects = 0;
+  std::size_t total_allocs = 0;
+  std::size_t total_frees = 0;
+};
+
+class PoolAllocator {
+ public:
+  static PoolAllocator& Instance();
+
+  PoolAllocator(const PoolAllocator&) = delete;
+  PoolAllocator& operator=(const PoolAllocator&) = delete;
+
+  // Allocates at least `size` bytes (16-byte aligned). Aborts on OOM — benchmark
+  // processes have no sensible recovery.
+  void* Alloc(std::size_t size);
+
+  // Returns the block to its size-class free list after poisoning the user area.
+  // The pages stay mapped forever (type stability).
+  void Free(void* ptr);
+
+  // Usable size of a block returned by Alloc.
+  std::size_t UsableSize(const void* ptr) const;
+
+  // True if `ptr` was produced by this allocator and is currently live.
+  bool OwnsLive(const void* ptr) const;
+
+  PoolStats GetStats() const;
+
+  // True when the first `length` bytes at `ptr` all carry the poison pattern.
+  static bool IsPoisoned(const void* ptr, std::size_t length);
+
+ private:
+  PoolAllocator() = default;
+
+  // Size classes: 32, 64, ..., 4096 bytes of user data.
+  static constexpr std::size_t kClassCount = 8;
+  static constexpr std::size_t kMinClassBytes = 32;
+  static constexpr std::size_t kSlabBytes = std::size_t{2} << 20;
+  static constexpr uint32_t kLiveMagic = 0x51ac7ac;
+  static constexpr uint32_t kFreeMagic = 0xdeadbeef;
+
+  struct BlockHeader {
+    uint32_t class_index;
+    uint32_t magic;
+    void* next_free;  // intrusive free-list link; valid only while free
+  };
+  static constexpr std::size_t kHeaderBytes = 32;  // keeps user data 16-byte aligned
+  static_assert(sizeof(BlockHeader) <= kHeaderBytes);
+
+  struct SizeClass {
+    SpinLatch latch;
+    void* free_head = nullptr;        // intrusive list of free blocks
+    char* bump_cursor = nullptr;      // current slab bump pointer
+    char* bump_limit = nullptr;
+    std::size_t block_bytes = 0;      // header + user bytes
+    std::size_t free_count = 0;
+  };
+
+  static std::size_t ClassIndexFor(std::size_t size);
+  static std::size_t ClassUserBytes(std::size_t index) { return kMinClassBytes << index; }
+  static BlockHeader* HeaderOf(const void* user_ptr) {
+    return reinterpret_cast<BlockHeader*>(reinterpret_cast<uintptr_t>(user_ptr) - kHeaderBytes);
+  }
+
+  // Maps a fresh 2 MiB-aligned slab. Called with the class latch held.
+  void RefillClass(SizeClass& size_class);
+
+  CacheAligned<SizeClass> classes_[kClassCount];
+  std::atomic<std::size_t> bytes_mapped_{0};
+  std::atomic<std::size_t> live_objects_{0};
+  std::atomic<std::size_t> total_allocs_{0};
+  std::atomic<std::size_t> total_frees_{0};
+};
+
+}  // namespace stacktrack::runtime
+
+#endif  // STACKTRACK_RUNTIME_POOL_ALLOC_H_

@@ -1,0 +1,81 @@
+// Process-wide registry of worker threads.
+//
+// Every thread that touches a reclamation-managed data structure registers here first.
+// Registration hands out a small dense thread id (reused after deregistration) that all
+// other modules use to index per-thread slots: the StackTrack activity array, hazard
+// pointer rows, epoch timestamps, pool caches. The registry also records each thread's
+// stack bounds so the StackTrack free procedure can scan raw stack memory.
+#ifndef STACKTRACK_RUNTIME_THREAD_REGISTRY_H_
+#define STACKTRACK_RUNTIME_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/cacheline.h"
+
+namespace stacktrack::runtime {
+
+// Hard cap on simultaneously registered threads. 64 covers the paper's 1-16 range with
+// room for oversubscription experiments; slots are statically allocated so lookups are
+// a single indexed load.
+inline constexpr uint32_t kMaxThreads = 64;
+inline constexpr uint32_t kInvalidThreadId = ~0u;
+
+struct ThreadSlot {
+  std::atomic<bool> in_use{false};
+  // Bounds of the owning thread's stack ([lo, hi)), discovered at registration.
+  std::atomic<uintptr_t> stack_lo{0};
+  std::atomic<uintptr_t> stack_hi{0};
+};
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& Instance();
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  // Claims a free slot, records stack bounds, and returns the thread id.
+  // Aborts the process if more than kMaxThreads threads register at once.
+  uint32_t RegisterCurrentThread();
+
+  // Releases the slot. The id may be handed to another thread afterwards.
+  void Deregister(uint32_t tid);
+
+  // Number of currently registered threads (racy snapshot; used by the machine model).
+  uint32_t active_count() const { return active_count_.load(std::memory_order_acquire); }
+
+  // Highest slot index ever claimed + 1; scan loops iterate [0, high_watermark()).
+  uint32_t high_watermark() const { return high_watermark_.load(std::memory_order_acquire); }
+
+  const ThreadSlot& slot(uint32_t tid) const { return slots_[tid].value; }
+
+ private:
+  ThreadRegistry() = default;
+
+  CacheAligned<ThreadSlot> slots_[kMaxThreads];
+  std::atomic<uint32_t> active_count_{0};
+  std::atomic<uint32_t> high_watermark_{0};
+};
+
+// Dense id of the calling thread, or kInvalidThreadId when unregistered.
+uint32_t CurrentThreadId();
+
+// RAII registration for the calling thread. Nested scopes share one registration.
+class ThreadScope {
+ public:
+  ThreadScope();
+  ~ThreadScope();
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+  uint32_t tid() const { return tid_; }
+
+ private:
+  uint32_t tid_;
+  bool owner_;
+};
+
+}  // namespace stacktrack::runtime
+
+#endif  // STACKTRACK_RUNTIME_THREAD_REGISTRY_H_

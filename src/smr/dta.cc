@@ -1,0 +1,97 @@
+#include "smr/dta.h"
+
+#include "runtime/pool_alloc.h"
+
+namespace stacktrack::smr {
+
+void DtaSmr::Handle::OpBegin(uint32_t) {
+  auto& mine = domain_->announcements_[tid_].value;
+  const uint64_t now = domain_->clock_.fetch_add(1, std::memory_order_acq_rel);
+  mine.anchor_key.store(0, std::memory_order_relaxed);  // anchored at the head
+  mine.stamp.store(now, std::memory_order_seq_cst);
+  hops_ = 0;
+}
+
+void DtaSmr::Handle::OpEnd() {
+  auto& mine = domain_->announcements_[tid_].value;
+  mine.stamp.store(Domain::kIdle, std::memory_order_release);
+}
+
+void DtaSmr::Handle::AnchorHop(uint64_t key) {
+  if (++hops_ < domain_->anchor_interval_) {
+    return;
+  }
+  hops_ = 0;
+  auto& mine = domain_->announcements_[tid_].value;
+  // The published anchor must lower-bound every key this thread still holds; list
+  // traversals only move forward, so the key just visited qualifies. The seq_cst
+  // store is the scheme's only fence, paid once per anchor_interval hops.
+  mine.anchor_key.store(key, std::memory_order_seq_cst);
+}
+
+void DtaSmr::Handle::Retire(void* ptr, uint64_t key) {
+  retired_.push_back(Retired{ptr, key, domain_->clock_.fetch_add(1, std::memory_order_acq_rel),
+                             /*stall_rounds=*/0});
+  if (retired_.size() >= domain_->batch_size_) {
+    domain_->Scan(*this);
+  }
+}
+
+DtaSmr::Handle& DtaSmr::Domain::AcquireHandle() {
+  const uint32_t tid = runtime::CurrentThreadId();
+  Handle& handle = handles_[tid];
+  handle.domain_ = this;
+  handle.tid_ = tid;
+  return handle;
+}
+
+void DtaSmr::Domain::Scan(Handle& handle) {
+  auto& pool = runtime::PoolAllocator::Instance();
+  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+  std::size_t kept = 0;
+  uint64_t freed = 0;
+  uint64_t quarantined = 0;
+  for (Handle::Retired& node : handle.retired_) {
+    bool pinned = false;
+    for (uint32_t tid = 0; tid < watermark && !pinned; ++tid) {
+      if (tid == handle.tid_) {
+        continue;  // the retiring thread's own op no longer needs the node
+      }
+      const Announcement& other = announcements_[tid].value;
+      const uint64_t stamp = other.stamp.load(std::memory_order_acquire);
+      if (stamp == kIdle || stamp > node.stamp) {
+        // Idle, or the op started after the node was unreachable: cannot hold it.
+        continue;
+      }
+      // Same-op overlap: the thread may hold the node unless it anchored past it.
+      if (node.key >= other.anchor_key.load(std::memory_order_acquire)) {
+        pinned = true;
+      }
+    }
+    if (!pinned) {
+      pool.Free(node.ptr);
+      ++freed;
+    } else if (++node.stall_rounds >= stall_rounds_) {
+      // Freezing substitute: a stalled operation has pinned this node across many
+      // scans; quarantine it permanently so reclamation stays non-blocking.
+      ++quarantined;
+    } else {
+      handle.retired_[kept++] = node;
+    }
+  }
+  handle.retired_.resize(kept);
+  total_freed_.fetch_add(freed, std::memory_order_relaxed);
+  total_quarantined_.fetch_add(quarantined, std::memory_order_relaxed);
+}
+
+DtaSmr::Domain::~Domain() {
+  auto& pool = runtime::PoolAllocator::Instance();
+  for (Handle& handle : handles_) {
+    for (const Handle::Retired& node : handle.retired_) {
+      pool.Free(node.ptr);
+    }
+    handle.retired_.clear();
+  }
+}
+
+}  // namespace stacktrack::smr

@@ -1,0 +1,128 @@
+// Drop-the-Anchor (Braginsky, Kogan, Petrank — SPAA'13), the paper's list-only
+// baseline.
+//
+// Threads publish a timestamp per operation and an *anchor* once every
+// `anchor_interval` traversal hops (AnchorHop), instead of a fence per hop like hazard
+// pointers — that elision is the scheme's entire performance story. A retired node can
+// be freed once every thread either (a) is idle, (b) started its current operation
+// after the node was retired (the node was already unreachable, so that thread can
+// never hold it), or (c) has anchored past it (the anchor key lower-bounds every key
+// the thread still holds, because list traversals only move forward).
+//
+// Freezing substitute: the original recovers from stalled threads by freezing and
+// rebuilding the K-node window, which is specific to their list internals. Here a node
+// pinned by the same stalled operation for `stall_rounds` consecutive scans is moved
+// to a permanent quarantine (a bounded leak per stall) so reclamation of everything
+// else stays non-blocking. DESIGN.md documents this substitution.
+#ifndef STACKTRACK_SMR_DTA_H_
+#define STACKTRACK_SMR_DTA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cacheline.h"
+#include "runtime/thread_registry.h"
+#include "smr/smr.h"
+
+namespace stacktrack::smr {
+
+struct DtaSmr {
+  static constexpr bool kSplits = false;
+
+  class Domain;
+
+  class Handle : public NoSplitOps, public PlainRegs {
+   public:
+    static constexpr bool kSplits = false;
+
+    void OpBegin(uint32_t);
+    void OpEnd();
+
+    template <typename T>
+    T Load(const std::atomic<T>& src) {
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void Store(std::atomic<T>& dst, T value) {
+      dst.store(value, std::memory_order_release);
+    }
+    template <typename T>
+    bool Cas(std::atomic<T>& dst, T expected, T desired) {
+      return dst.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+    }
+    template <typename T>
+    T Protect(const std::atomic<T>& src, uint32_t) {
+      return Load(src);
+    }
+
+    // Traversal hook: called once per node visited with that node's key. Publishes a
+    // new anchor (with the fence) every `anchor_interval` hops.
+    void AnchorHop(uint64_t key);
+
+    template <typename T>
+    void ProtectRaw(uint32_t, T) {}
+
+    // `key` is the retired node's key, needed for the anchor comparison.
+    void Retire(void* ptr, uint64_t key = 0);
+
+   private:
+    friend class Domain;
+    Domain* domain_ = nullptr;
+    uint32_t tid_ = 0;
+    uint32_t hops_ = 0;
+
+    struct Retired {
+      void* ptr;
+      uint64_t key;
+      uint64_t stamp;
+      uint32_t stall_rounds;
+    };
+    std::vector<Retired> retired_;
+  };
+
+  template <uint32_t N>
+  using Frame = PlainFrame<Handle, N>;
+
+  class Domain {
+   public:
+    explicit Domain(uint32_t anchor_interval = 64, uint32_t batch_size = 128,
+                    uint32_t stall_rounds = 64)
+        : anchor_interval_(anchor_interval),
+          batch_size_(batch_size),
+          stall_rounds_(stall_rounds) {}
+    ~Domain();
+
+    Handle& AcquireHandle();
+
+    uint64_t total_freed() const { return total_freed_.load(std::memory_order_relaxed); }
+    uint64_t total_quarantined() const {
+      return total_quarantined_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class Handle;
+
+    static constexpr uint64_t kIdle = ~uint64_t{0};
+
+    struct Announcement {
+      std::atomic<uint64_t> stamp{kIdle};       // op-start stamp; kIdle when quiet
+      std::atomic<uint64_t> anchor_key{0};      // lower bound on keys still held
+    };
+
+    void Scan(Handle& handle);
+
+    const uint32_t anchor_interval_;
+    const uint32_t batch_size_;
+    const uint32_t stall_rounds_;
+    std::atomic<uint64_t> clock_{1};
+    runtime::CacheAligned<Announcement> announcements_[runtime::kMaxThreads];
+    Handle handles_[runtime::kMaxThreads];
+    std::atomic<uint64_t> total_freed_{0};
+    std::atomic<uint64_t> total_quarantined_{0};
+  };
+};
+
+}  // namespace stacktrack::smr
+
+#endif  // STACKTRACK_SMR_DTA_H_

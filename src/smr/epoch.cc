@@ -1,0 +1,87 @@
+#include "smr/epoch.h"
+
+#include <sched.h>
+
+#include "runtime/pool_alloc.h"
+
+namespace stacktrack::smr {
+
+void EpochSmr::Handle::OpBegin(uint32_t) {
+  auto& mine = domain_->announcements_[tid_].value;
+  const uint64_t now = domain_->clock_.fetch_add(1, std::memory_order_acq_rel);
+  mine.stamp.store(now, std::memory_order_seq_cst);
+}
+
+void EpochSmr::Handle::OpEnd() {
+  auto& mine = domain_->announcements_[tid_].value;
+  mine.ops.fetch_add(1, std::memory_order_release);
+  mine.stamp.store(Domain::kIdle, std::memory_order_release);
+  if (limbo_.size() < domain_->batch_size_) {
+    return;
+  }
+  // Reclaim at the operation boundary, where this thread is itself quiescent: a
+  // mid-operation wait could deadlock with another reclaimer (each active, each
+  // waiting for the other) and would free nodes the waiter still holds. Waiting
+  // while idle is deadlock-free (idle peers satisfy each other's condition) and
+  // safe (an idle reclaimer holds no references).
+  std::vector<void*> batch;
+  batch.swap(limbo_);  // nodes retired during the wait belong to the next batch
+  domain_->WaitForQuiescence(tid_);
+  auto& pool = runtime::PoolAllocator::Instance();
+  for (void* node : batch) {
+    pool.Free(node);
+  }
+  domain_->total_freed_.fetch_add(batch.size(), std::memory_order_relaxed);
+}
+
+void EpochSmr::Handle::Retire(void* ptr, uint64_t) { limbo_.push_back(ptr); }
+
+EpochSmr::Handle& EpochSmr::Domain::AcquireHandle() {
+  const uint32_t tid = runtime::CurrentThreadId();
+  Handle& handle = handles_[tid];
+  handle.domain_ = this;
+  handle.tid_ = tid;
+  return handle;
+}
+
+void EpochSmr::Domain::WaitForQuiescence(uint32_t self_tid) {
+  // Snapshot, then wait for progress (or change) from every announced thread — the
+  // blocking step the paper identifies. A preempted thread parks us right here.
+  const uint64_t fence_stamp = clock_.fetch_add(1, std::memory_order_acq_rel);
+  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+  for (uint32_t tid = 0; tid < watermark; ++tid) {
+    if (tid == self_tid) {
+      continue;
+    }
+    const Announcement& other = announcements_[tid].value;
+    const uint64_t stamp_snapshot = other.stamp.load(std::memory_order_acquire);
+    if (stamp_snapshot == kIdle || stamp_snapshot > fence_stamp) {
+      continue;
+    }
+    const uint64_t ops_snapshot = other.ops.load(std::memory_order_acquire);
+    while (true) {
+      const uint64_t stamp = other.stamp.load(std::memory_order_acquire);
+      if (stamp == kIdle || stamp > fence_stamp) {
+        break;
+      }
+      if (other.ops.load(std::memory_order_acquire) != ops_snapshot) {
+        break;
+      }
+      sched_yield();
+    }
+  }
+}
+
+EpochSmr::Domain::~Domain() {
+  // Per-thread limbo batches below the threshold are freed unconditionally here: the
+  // domain outlives every operation by contract.
+  auto& pool = runtime::PoolAllocator::Instance();
+  for (Handle& handle : handles_) {
+    for (void* node : handle.limbo_) {
+      pool.Free(node);
+    }
+    handle.limbo_.clear();
+  }
+}
+
+}  // namespace stacktrack::smr

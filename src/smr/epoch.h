@@ -1,0 +1,104 @@
+// Epoch/quiescence-based reclamation (the paper's "Epoch" baseline, after Fraser and
+// Hart et al.).
+//
+// Each thread announces a timestamp at operation start and an idle marker at
+// operation end — the cheapest possible instrumentation (one store per boundary).
+// Before freeing a batch of retired nodes, the reclaimer snapshots every thread's
+// announcement and *waits* until each has either gone idle, started a later operation,
+// or completed more operations. That wait is the scheme's Achilles heel the paper
+// highlights: one preempted thread stalls all reclamation (throughput collapses past
+// the hardware-context count), and a crashed thread leaks unboundedly.
+#ifndef STACKTRACK_SMR_EPOCH_H_
+#define STACKTRACK_SMR_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cacheline.h"
+#include "runtime/thread_registry.h"
+#include "smr/smr.h"
+
+namespace stacktrack::smr {
+
+struct EpochSmr {
+  static constexpr bool kSplits = false;
+
+  class Domain;
+
+  class Handle : public NoSplitOps, public PlainRegs {
+   public:
+    static constexpr bool kSplits = false;
+
+    void OpBegin(uint32_t);
+    // Reclaims the limbo batch here (at the quiescent point) once it reaches the
+    // batch size: waiting mid-operation could deadlock two reclaimers and would free
+    // nodes the waiter itself still references.
+    void OpEnd();
+
+    template <typename T>
+    T Load(const std::atomic<T>& src) {
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void Store(std::atomic<T>& dst, T value) {
+      dst.store(value, std::memory_order_release);
+    }
+    template <typename T>
+    bool Cas(std::atomic<T>& dst, T expected, T desired) {
+      return dst.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+    }
+    template <typename T>
+    T Protect(const std::atomic<T>& src, uint32_t) {
+      return Load(src);
+    }
+    template <typename T>
+    void ProtectRaw(uint32_t, T) {}
+    void Retire(void* ptr, uint64_t key = 0);
+    void AnchorHop(uint64_t) {}
+
+   private:
+    friend class Domain;
+    Domain* domain_ = nullptr;
+    uint32_t tid_ = 0;
+    std::vector<void*> limbo_;
+  };
+
+  template <uint32_t N>
+  using Frame = PlainFrame<Handle, N>;
+
+  class Domain {
+   public:
+    // `batch_size`: retired nodes buffered per thread before a quiescence wait + free.
+    explicit Domain(uint32_t batch_size = 4) : batch_size_(batch_size) {}
+    ~Domain();
+
+    Handle& AcquireHandle();
+
+    uint64_t total_freed() const { return total_freed_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class Handle;
+
+    static constexpr uint64_t kIdle = ~uint64_t{0};
+
+    struct Announcement {
+      std::atomic<uint64_t> stamp{kIdle};  // operation-start stamp, kIdle when quiet
+      std::atomic<uint64_t> ops{0};        // completed-operation counter
+    };
+
+    // Blocks until every other registered thread has passed a quiescent point since
+    // the call began (gone idle, re-announced, or completed an operation).
+    void WaitForQuiescence(uint32_t self_tid);
+
+    const uint32_t batch_size_;
+    std::atomic<uint64_t> clock_{1};
+    runtime::CacheAligned<Announcement> announcements_[runtime::kMaxThreads];
+    Handle handles_[runtime::kMaxThreads];
+    std::atomic<uint64_t> total_freed_{0};
+  };
+};
+
+}  // namespace stacktrack::smr
+
+#endif  // STACKTRACK_SMR_EPOCH_H_

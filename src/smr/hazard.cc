@@ -1,0 +1,88 @@
+#include "smr/hazard.h"
+
+#include "runtime/pool_alloc.h"
+
+namespace stacktrack::smr {
+
+std::atomic<uintptr_t>& HazardSmr::Handle::HazardSlot(uint32_t slot) {
+  return domain_->rows_[tid_].value.slots[slot];
+}
+
+void HazardSmr::Handle::OpEnd() {
+  auto& row = domain_->rows_[tid_].value;
+  for (std::atomic<uintptr_t>& slot : row.slots) {
+    slot.store(0, std::memory_order_release);
+  }
+}
+
+void HazardSmr::Handle::Retire(void* ptr, uint64_t) {
+  retired_.push_back(ptr);
+  if (retired_.size() >= domain_->scan_threshold_) {
+    domain_->Scan(retired_);
+  }
+}
+
+HazardSmr::Handle& HazardSmr::Domain::AcquireHandle() {
+  const uint32_t tid = runtime::CurrentThreadId();
+  Handle& handle = handles_[tid];
+  handle.domain_ = this;
+  handle.tid_ = tid;
+  return handle;
+}
+
+void HazardSmr::Domain::Scan(std::vector<void*>& retired) {
+  // Stage 1: snapshot all published hazards.
+  std::vector<uintptr_t> hazards;
+  hazards.reserve(runtime::kMaxThreads * kSlotsPerThread);
+  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+  for (uint32_t tid = 0; tid < watermark; ++tid) {
+    for (const std::atomic<uintptr_t>& slot : rows_[tid].value.slots) {
+      const uintptr_t value = slot.load(std::memory_order_acquire);
+      if (value != 0) {
+        hazards.push_back(value);
+      }
+    }
+  }
+
+  // Stage 2: free retired nodes no hazard points into.
+  auto& pool = runtime::PoolAllocator::Instance();
+  std::size_t kept = 0;
+  uint64_t freed = 0;
+  for (void* node : retired) {
+    const uintptr_t base = reinterpret_cast<uintptr_t>(node);
+    const std::size_t length = pool.UsableSize(node);
+    bool live = false;
+    for (const uintptr_t hazard : hazards) {
+      if (hazard - base < length) {
+        live = true;
+        break;
+      }
+    }
+    if (live) {
+      retired[kept++] = node;
+    } else {
+      pool.Free(node);
+      ++freed;
+    }
+  }
+  retired.resize(kept);
+  total_freed_.fetch_add(freed, std::memory_order_relaxed);
+}
+
+HazardSmr::Domain::~Domain() {
+  // Operations have completed by contract; any hazard left published is stale.
+  for (auto& row : rows_) {
+    for (std::atomic<uintptr_t>& slot : row.value.slots) {
+      slot.store(0, std::memory_order_release);
+    }
+  }
+  auto& pool = runtime::PoolAllocator::Instance();
+  for (Handle& handle : handles_) {
+    for (void* node : handle.retired_) {
+      pool.Free(node);
+    }
+    handle.retired_.clear();
+  }
+}
+
+}  // namespace stacktrack::smr

@@ -1,0 +1,118 @@
+// Hazard pointers (Michael 2004), the paper's main non-blocking baseline.
+//
+// Protect(field, slot) implements the publish-validate protocol: load, publish into
+// the per-thread hazard row, memory fence, re-load, retry until stable. The fence per
+// protected hop is the overhead the paper measures against. Scanning compares retired
+// blocks against all published hazards by range containment, so tag bits (mark/freeze
+// bits folded into pointer LSBs) and interior pointers are handled uniformly.
+#ifndef STACKTRACK_SMR_HAZARD_H_
+#define STACKTRACK_SMR_HAZARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cacheline.h"
+#include "runtime/thread_registry.h"
+#include "smr/smr.h"
+
+namespace stacktrack::smr {
+
+struct HazardSmr {
+  static constexpr bool kSplits = false;
+  static constexpr uint32_t kSlotsPerThread = 40;  // skip-list: 2 per level + traversal
+
+  class Domain;
+
+  class Handle : public NoSplitOps, public PlainRegs {
+   public:
+    static constexpr bool kSplits = false;
+
+    void OpBegin(uint32_t) {}
+    void OpEnd();  // clears the hazard row so idle threads pin nothing
+
+    template <typename T>
+    T Load(const std::atomic<T>& src) {
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void Store(std::atomic<T>& dst, T value) {
+      dst.store(value, std::memory_order_release);
+    }
+    template <typename T>
+    bool Cas(std::atomic<T>& dst, T expected, T desired) {
+      return dst.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+    }
+
+    // Publish-validate. Returns the raw loaded word (tag bits preserved); the hazard
+    // protects the node the word points into.
+    template <typename T>
+    T Protect(const std::atomic<T>& src, uint32_t slot) {
+      static_assert(sizeof(T) == 8);
+      std::atomic<uintptr_t>& hazard = HazardSlot(slot);
+      while (true) {
+        const T value = src.load(std::memory_order_acquire);
+        hazard.store(std::bit_cast<uintptr_t>(value), std::memory_order_release);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (std::bit_cast<uintptr_t>(src.load(std::memory_order_acquire)) ==
+            std::bit_cast<uintptr_t>(value)) {
+          return value;
+        }
+      }
+    }
+
+    // Publishes an *already protected* value into another slot (hand-over-hand
+    // advance). No fence or validation: the value stays covered by its original slot
+    // until that slot is overwritten, so the scanner can never miss it.
+    template <typename T>
+    void ProtectRaw(uint32_t slot, T value) {
+      static_assert(sizeof(T) == 8);
+      HazardSlot(slot).store(std::bit_cast<uintptr_t>(value), std::memory_order_release);
+    }
+
+    void Retire(void* ptr, uint64_t key = 0);
+    void AnchorHop(uint64_t) {}
+
+   private:
+    friend class Domain;
+    std::atomic<uintptr_t>& HazardSlot(uint32_t slot);
+
+    Domain* domain_ = nullptr;
+    uint32_t tid_ = 0;
+    std::vector<void*> retired_;
+  };
+
+  template <uint32_t N>
+  using Frame = PlainFrame<Handle, N>;
+
+  class Domain {
+   public:
+    // `scan_threshold`: retired nodes buffered per thread before a hazard scan.
+    explicit Domain(uint32_t scan_threshold = 64) : scan_threshold_(scan_threshold) {}
+    ~Domain();
+
+    Handle& AcquireHandle();
+
+    uint64_t total_freed() const { return total_freed_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class Handle;
+
+    struct HazardRow {
+      std::atomic<uintptr_t> slots[kSlotsPerThread] = {};
+    };
+
+    // Frees every node in `retired` not covered by a published hazard; survivors are
+    // compacted back into `retired`.
+    void Scan(std::vector<void*>& retired);
+
+    const uint32_t scan_threshold_;
+    runtime::CacheAligned<HazardRow> rows_[runtime::kMaxThreads];
+    Handle handles_[runtime::kMaxThreads];
+    std::atomic<uint64_t> total_freed_{0};
+  };
+};
+
+}  // namespace stacktrack::smr
+
+#endif  // STACKTRACK_SMR_HAZARD_H_

@@ -1,0 +1,58 @@
+// "Original" baseline: no reclamation at all (retired nodes leak). This is the
+// paper's upper-bound configuration — the raw lock-free algorithm with no
+// instrumentation and no HTM.
+#ifndef STACKTRACK_SMR_LEAKY_H_
+#define STACKTRACK_SMR_LEAKY_H_
+
+#include "runtime/thread_registry.h"
+#include "smr/smr.h"
+
+namespace stacktrack::smr {
+
+struct LeakySmr {
+  static constexpr bool kSplits = false;
+
+  class Handle : public NoSplitOps, public PlainRegs {
+   public:
+    static constexpr bool kSplits = false;
+
+    void OpBegin(uint32_t) {}
+    void OpEnd() {}
+
+    template <typename T>
+    T Load(const std::atomic<T>& src) {
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void Store(std::atomic<T>& dst, T value) {
+      dst.store(value, std::memory_order_release);
+    }
+    template <typename T>
+    bool Cas(std::atomic<T>& dst, T expected, T desired) {
+      return dst.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+    }
+    template <typename T>
+    T Protect(const std::atomic<T>& src, uint32_t) {
+      return Load(src);
+    }
+    template <typename T>
+    void ProtectRaw(uint32_t, T) {}
+    void Retire(void*, uint64_t = 0) {}  // leaked on purpose
+    void AnchorHop(uint64_t) {}
+  };
+
+  template <uint32_t N>
+  using Frame = PlainFrame<Handle, N>;
+
+  class Domain {
+   public:
+    Handle& AcquireHandle() { return handles_[runtime::CurrentThreadId()]; }
+
+   private:
+    Handle handles_[runtime::kMaxThreads];
+  };
+};
+
+}  // namespace stacktrack::smr
+
+#endif  // STACKTRACK_SMR_LEAKY_H_

@@ -1,0 +1,142 @@
+// Scheme-generic safe-memory-reclamation (SMR) policy API.
+//
+// Every reclamation scheme in the comparison (Leaky/"Original", Epoch, Hazard
+// pointers, Drop-the-Anchor, StackTrack) exposes the same per-thread Handle surface so
+// each data structure in src/ds/ is written once and instantiated per scheme, exactly
+// as the paper instruments one implementation per scheme:
+//
+//   struct Smr {
+//     static constexpr bool kSplits;            // true only for StackTrack
+//     using Handle = ...;                        // per-thread accessor
+//     template <uint32_t N> using Frame = ...;   // root storage (tracked for ST)
+//     class Domain { Handle& AcquireHandle(); }; // per-scheme shared state
+//   };
+//
+// Handle operations:
+//   OpBegin/OpEnd            operation brackets (epoch announce, split init/commit...)
+//   Load/Store/Cas           instrumented shared-memory access
+//   Protect(field, slot)     hazard-pointer publish-validate; plain Load elsewhere
+//   Retire(ptr)              hand a detached node to the scheme
+//   AnchorHop(key)           drop-the-anchor traversal hook; no-op elsewhere
+//   reg<T>(slot)             register-file root (StackTrack shadow registers)
+//
+// The SMR_* macros wrap the StackTrack split-checkpoint protocol; for non-splitting
+// schemes they reduce to the plain OpBegin/OpEnd calls. They must be expanded inside
+// the operation function's own frame (see core/split_engine.h for why).
+#ifndef STACKTRACK_SMR_SMR_H_
+#define STACKTRACK_SMR_SMR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/split_engine.h"
+#include "core/thread_context.h"
+#include "htm/htm.h"
+
+namespace stacktrack::smr {
+
+// Mixin providing the split-engine stubs for schemes that never split; the dead
+// branches of the SMR_* macros still have to compile.
+struct NoSplitOps {
+  bool PrepareSegment() { return false; }
+  void SegmentStarted() {}
+  void SegmentAborted(int) {}
+  void SlowSegmentStarted() {}
+  bool CheckpointHit() { return false; }
+  void CommitSegment() {}
+};
+
+// Untracked root frame for non-StackTrack schemes: same shape as core::TrackedFrame,
+// zero registration cost.
+template <typename Handle, uint32_t N>
+struct PlainFrame {
+  explicit PlainFrame(Handle&) {}
+  uintptr_t words[N] = {};
+
+  template <typename T>
+  core::RootRef<T> ptr(uint32_t index) {
+    return core::RootRef<T>(&words[index]);
+  }
+};
+
+// Plain register-file stand-in for non-StackTrack schemes.
+class PlainRegs {
+ public:
+  template <typename T>
+  core::RootRef<T> reg(uint32_t slot) {
+    return core::RootRef<T>(&regs_[slot]);
+  }
+
+ private:
+  uintptr_t regs_[core::kRegisterSlots] = {};
+};
+
+}  // namespace stacktrack::smr
+
+// Arms/starts the next StackTrack segment; expands to nothing at runtime for
+// non-splitting schemes (the branch is constant-false and compiled out).
+#define SMR_SEGMENT_ARM(h_)                                                   \
+  do {                                                                        \
+    if constexpr (std::decay_t<decltype(h_)>::kSplits) {                      \
+      while (true) {                                                          \
+        if ((h_).PrepareSegment()) {                                          \
+          const int smr_rc_ = ST_HTM_BEGIN_POINT();                           \
+          if (smr_rc_ == ::stacktrack::htm::kTxStarted) {                     \
+            (h_).SegmentStarted();                                            \
+            break;                                                            \
+          }                                                                   \
+          (h_).SegmentAborted(smr_rc_);                                       \
+        } else {                                                              \
+          (h_).SlowSegmentStarted();                                          \
+          break;                                                              \
+        }                                                                     \
+      }                                                                       \
+    }                                                                         \
+  } while (0)
+
+#define SMR_OP_BEGIN(h_, op_id_) \
+  do {                           \
+    (h_).OpBegin(op_id_);        \
+    SMR_SEGMENT_ARM(h_);         \
+  } while (0)
+
+// One basic block executed (SPLIT_CHECKPOINT).
+#define SMR_CHECKPOINT(h_)                                 \
+  do {                                                     \
+    if constexpr (std::decay_t<decltype(h_)>::kSplits) {   \
+      if ((h_).CheckpointHit()) {                          \
+        (h_).CommitSegment();                              \
+        SMR_SEGMENT_ARM(h_);                               \
+      }                                                    \
+    }                                                      \
+  } while (0)
+
+// Final commit + operation end; required before every return of an instrumented op.
+#define SMR_OP_END(h_) (h_).OpEnd()
+
+// Helper-call protocol. A non-inlined helper may contain checkpoints only if the
+// caller closes its segment before the call (SMR_PRE_CALL), the helper opens its own
+// segments (SMR_HELPER_BEGIN / SMR_HELPER_END around its body, before every return),
+// and the caller re-arms afterwards (SMR_POST_CALL). This keeps every transaction
+// begin point inside a frame that outlives its segment. With real HTM a transaction
+// could span the call; the forced boundary costs one extra (cheap) commit.
+#define SMR_PRE_CALL(h_)                                   \
+  do {                                                     \
+    if constexpr (std::decay_t<decltype(h_)>::kSplits) {   \
+      (h_).CommitSegment();                                \
+    }                                                      \
+  } while (0)
+
+#define SMR_POST_CALL(h_) SMR_SEGMENT_ARM(h_)
+
+#define SMR_HELPER_BEGIN(h_) SMR_SEGMENT_ARM(h_)
+
+#define SMR_HELPER_END(h_)                                 \
+  do {                                                     \
+    if constexpr (std::decay_t<decltype(h_)>::kSplits) {   \
+      (h_).CommitSegment();                                \
+    }                                                      \
+  } while (0)
+
+#endif  // STACKTRACK_SMR_SMR_H_

@@ -1,0 +1,280 @@
+// Unit tests for the FREE procedure (Algorithm 1): root scanning across frames,
+// registers and reference sets, the consistency protocol, interior/tagged pointer
+// matching, and end-to-end liveness decisions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/free_proc.h"
+#include "core/split_engine.h"
+#include "ds/list.h"
+#include "runtime/pool_alloc.h"
+#include "smr/stacktrack_smr.h"
+
+namespace stacktrack::core {
+namespace {
+
+class FreeProcTest : public ::testing::Test {
+ protected:
+  runtime::ThreadScope scope_;
+  smr::StackTrackSmr::Domain domain_;
+
+  // A second context standing in for another thread (InspectThread only looks at the
+  // target's published state, so constructing it on this thread is fine).
+  static constexpr uint32_t kFakeTid = 40;
+};
+
+TEST_F(FreeProcTest, FindsPointerInTrackedFrame) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  StContext target(kFakeTid, StConfig{});
+  TrackedFrame<4> frame(target);
+  void* node = runtime::PoolAllocator::Instance().Alloc(64);
+
+  frame.words[2] = reinterpret_cast<uintptr_t>(node);
+  EXPECT_TRUE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64, false));
+  frame.words[2] = 0;
+  EXPECT_FALSE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64, false));
+  runtime::PoolAllocator::Instance().Free(node);
+}
+
+TEST_F(FreeProcTest, FindsInteriorAndTaggedPointers) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  StContext target(kFakeTid, StConfig{});
+  TrackedFrame<4> frame(target);
+  void* node = runtime::PoolAllocator::Instance().Alloc(64);
+  const uintptr_t base = reinterpret_cast<uintptr_t>(node);
+
+  frame.words[0] = base + 24;  // interior pointer (array element / member address)
+  EXPECT_TRUE(InspectThread(reclaimer, target, base, 64, false));
+  frame.words[0] = base | 1;  // mark-tagged pointer
+  EXPECT_TRUE(InspectThread(reclaimer, target, base, 64, false));
+  frame.words[0] = base + 64;  // one past the end: a different object
+  EXPECT_FALSE(InspectThread(reclaimer, target, base, 64, false));
+  frame.words[0] = 0;
+  runtime::PoolAllocator::Instance().Free(node);
+}
+
+TEST_F(FreeProcTest, FindsPointerInExposedRegisters) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  StContext target(kFakeTid, StConfig{});
+  void* node = runtime::PoolAllocator::Instance().Alloc(64);
+
+  // Only the *exposed* file is scanned; live register values are private until a
+  // segment commit copies them out (the paper's EXPOSE_REGISTERS).
+  target.reg<void*>(1) = node;
+  EXPECT_FALSE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64, false));
+  target.exposed_regs[1].store(reinterpret_cast<uintptr_t>(node), std::memory_order_release);
+  EXPECT_TRUE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64, false));
+  target.exposed_regs[1].store(0, std::memory_order_release);
+  runtime::PoolAllocator::Instance().Free(node);
+}
+
+TEST_F(FreeProcTest, RefSetConsultedOnlyWhenRequested) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  StContext target(kFakeTid, StConfig{});
+  void* node = runtime::PoolAllocator::Instance().Alloc(64);
+
+  target.ref_set.Add(reinterpret_cast<uintptr_t>(node));
+  EXPECT_FALSE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64,
+                             /*check_refset=*/false));
+  EXPECT_TRUE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64,
+                            /*check_refset=*/true));
+  target.ref_set.Clear();
+  EXPECT_FALSE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64, true));
+  runtime::PoolAllocator::Instance().Free(node);
+}
+
+TEST_F(FreeProcTest, RefSetTombstoneRemovesEntry) {
+  RefSet refs;
+  const uint32_t slot = refs.Add(0x1000);
+  refs.Add(0x2000);
+  EXPECT_TRUE(refs.ContainsRange(0x1000, 8));
+  refs.Tombstone(slot);
+  EXPECT_FALSE(refs.ContainsRange(0x1000, 8));
+  EXPECT_TRUE(refs.ContainsRange(0x2000, 8));
+  refs.Clear();
+  EXPECT_FALSE(refs.ContainsRange(0x2000, 8));
+  EXPECT_EQ(refs.size(), 0u);
+}
+
+TEST_F(FreeProcTest, CompletedOperationShortCircuitsToDead) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  StContext target(kFakeTid, StConfig{});
+  TrackedFrame<2> frame(target);
+  void* node = runtime::PoolAllocator::Instance().Alloc(64);
+  frame.words[0] = reinterpret_cast<uintptr_t>(node);
+
+  // Mid-scan operation completion: an odd seqlock parks the scanner; an oper_counter
+  // bump from another thread while it waits must release it with "dead".
+  target.splits_seq.store(1, std::memory_order_release);  // exposure "in flight"
+  std::thread completer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    target.oper_counter.fetch_add(1, std::memory_order_release);
+  });
+  // Algorithm 1 lines 25-29: the op completed, so its roots are dead even though the
+  // frame still physically holds the pointer.
+  EXPECT_FALSE(InspectThread(reclaimer, target, reinterpret_cast<uintptr_t>(node), 64, false));
+  completer.join();
+  target.splits_seq.store(2, std::memory_order_release);
+  frame.words[0] = 0;
+  runtime::PoolAllocator::Instance().Free(node);
+}
+
+TEST_F(FreeProcTest, ScanAndFreeFreesDeadAndKeepsLive) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  // The target must sit below the registry watermark to be visited by the full scan,
+  // so claim a real slot for it (a thread may hold several slots in tests).
+  const uint32_t target_tid = runtime::ThreadRegistry::Instance().RegisterCurrentThread();
+  StContext target(target_tid, StConfig{});
+  TrackedFrame<2> frame(target);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* live_node = pool.Alloc(64);
+  void* dead_node = pool.Alloc(64);
+  frame.words[0] = reinterpret_cast<uintptr_t>(live_node);
+
+  reclaimer.MutableFreeSet().push_back(live_node);
+  reclaimer.MutableFreeSet().push_back(dead_node);
+  ScanAndFree(reclaimer);
+  EXPECT_TRUE(pool.OwnsLive(live_node));    // pinned by the target's frame
+  EXPECT_FALSE(pool.OwnsLive(dead_node));   // unreferenced -> freed
+  EXPECT_EQ(reclaimer.free_set_size(), 1u);  // survivor stays buffered
+
+  frame.words[0] = 0;
+  ScanAndFree(reclaimer);
+  EXPECT_FALSE(pool.OwnsLive(live_node));  // released -> freed on the next scan
+  EXPECT_EQ(reclaimer.free_set_size(), 0u);
+  runtime::ThreadRegistry::Instance().Deregister(target_tid);
+}
+
+TEST_F(FreeProcTest, FreedMemoryIsQuarantinedBeforeReuse) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* node = pool.Alloc(64);
+  const uint64_t stripe_before = htm::soft::StripeValueOf(node);
+  reclaimer.MutableFreeSet().push_back(node);
+  ScanAndFree(reclaimer);
+  EXPECT_FALSE(pool.OwnsLive(node));
+  // The stripe version advanced, so any in-flight reader of the node aborts.
+  EXPECT_NE(htm::soft::StripeValueOf(node), stripe_before);
+}
+
+TEST_F(FreeProcTest, MaxFreeThresholdTriggersScan) {
+  StConfig config;
+  config.max_free = 4;
+  smr::StackTrackSmr::Domain domain(config);
+  StContext& ctx = domain.AcquireHandle();
+  auto& pool = runtime::PoolAllocator::Instance();
+  const auto before = pool.GetStats();
+  for (int i = 0; i < 4; ++i) {
+    ctx.Free(pool.Alloc(32));
+  }
+  const auto after = pool.GetStats();
+  EXPECT_EQ(after.total_frees - before.total_frees, 4u);  // batch hit the threshold
+  EXPECT_GE(ctx.stats.scan_calls, 1u);
+}
+
+
+TEST_F(FreeProcTest, HashedScanMatchesPerCandidateScan) {
+  StContext& reclaimer = domain_.AcquireHandle();
+  const uint32_t target_tid = runtime::ThreadRegistry::Instance().RegisterCurrentThread();
+  {
+    StContext target(target_tid, StConfig{});
+    TrackedFrame<4> frame(target);
+    auto& pool = runtime::PoolAllocator::Instance();
+    void* pinned_exact = pool.Alloc(64);
+    void* pinned_interior = pool.Alloc(64);
+    void* pinned_tagged = pool.Alloc(64);
+    void* dead_a = pool.Alloc(64);
+    void* dead_b = pool.Alloc(64);
+    frame.words[0] = reinterpret_cast<uintptr_t>(pinned_exact);
+    frame.words[1] = reinterpret_cast<uintptr_t>(pinned_interior) + 16;
+    frame.words[2] = reinterpret_cast<uintptr_t>(pinned_tagged) | 1;
+
+    reclaimer.MutableFreeSet() = {pinned_exact, dead_a, pinned_interior, dead_b,
+                                  pinned_tagged};
+    ScanAndFreeHashed(reclaimer);
+    EXPECT_TRUE(pool.OwnsLive(pinned_exact));
+    EXPECT_TRUE(pool.OwnsLive(pinned_interior));
+    EXPECT_TRUE(pool.OwnsLive(pinned_tagged));
+    EXPECT_FALSE(pool.OwnsLive(dead_a));
+    EXPECT_FALSE(pool.OwnsLive(dead_b));
+    EXPECT_EQ(reclaimer.free_set_size(), 3u);
+
+    frame.words[0] = frame.words[1] = frame.words[2] = 0;
+    ScanAndFreeHashed(reclaimer);
+    EXPECT_EQ(reclaimer.free_set_size(), 0u);
+    EXPECT_FALSE(pool.OwnsLive(pinned_exact));
+  }
+  runtime::ThreadRegistry::Instance().Deregister(target_tid);
+}
+
+TEST_F(FreeProcTest, HashedScanEndToEndUnderChurn) {
+  auto& pool = runtime::PoolAllocator::Instance();
+  const auto before = pool.GetStats();
+  {
+    StConfig config;
+    config.hashed_scan = true;
+    config.max_free = 8;
+    smr::StackTrackSmr::Domain domain(config);
+    ds::LockFreeList<smr::StackTrackSmr> list;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        runtime::ThreadScope scope;
+        auto& h = domain.AcquireHandle();
+        runtime::Xorshift128 rng(0x4a5 ^ t);
+        for (int i = 0; i < 4000; ++i) {
+          const uint64_t key = 1 + rng.NextBounded(64);
+          if (rng.NextBool(0.5)) {
+            list.Insert(h, key, key);
+          } else {
+            list.Remove(h, key);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  EXPECT_EQ(pool.GetStats().live_objects, before.live_objects);
+}
+
+// End-to-end: a reader thread parked mid-operation pins a node through its tracked
+// frame; the reclaimer cannot free it until the reader finishes.
+TEST_F(FreeProcTest, LiveReaderBlocksReclamationEndToEnd) {
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* node = pool.Alloc(64);
+  std::atomic<int> reader_state{0};  // 0: starting, 1: holding, 2: release requested
+
+  std::thread reader([&] {
+    runtime::ThreadScope scope;
+    StContext& ctx = domain_.AcquireHandle();
+    TrackedFrame<2> frame(ctx);
+    frame.words[0] = reinterpret_cast<uintptr_t>(node);
+    reader_state.store(1, std::memory_order_release);
+    while (reader_state.load(std::memory_order_acquire) != 2) {
+      sched_yield();
+    }
+    frame.words[0] = 0;
+  });
+  while (reader_state.load(std::memory_order_acquire) != 1) {
+    sched_yield();
+  }
+
+  StContext& reclaimer = domain_.AcquireHandle();
+  reclaimer.MutableFreeSet().push_back(node);
+  ScanAndFree(reclaimer);
+  EXPECT_TRUE(pool.OwnsLive(node)) << "freed while a reader still held a reference";
+
+  reader_state.store(2, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(reclaimer.FlushFrees(), 0u);
+  EXPECT_FALSE(pool.OwnsLive(node));
+}
+
+}  // namespace
+}  // namespace stacktrack::core

@@ -1,0 +1,284 @@
+// Unit tests for the baseline reclamation schemes: epoch quiescence semantics, hazard
+// pointer protect/scan behaviour, and drop-the-anchor's stamp/anchor reasoning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "smr/dta.h"
+#include "smr/epoch.h"
+#include "smr/hazard.h"
+#include "smr/leaky.h"
+#include "runtime/pool_alloc.h"
+
+namespace stacktrack::smr {
+namespace {
+
+TEST(EpochTest, RetireBatchFreesWhenAllThreadsQuiet) {
+  runtime::ThreadScope scope;
+  EpochSmr::Domain domain(/*batch_size=*/4);
+  auto& h = domain.AcquireHandle();
+  auto& pool = runtime::PoolAllocator::Instance();
+
+  void* nodes[4];
+  for (void*& node : nodes) {
+    node = pool.Alloc(32);
+  }
+  h.OpBegin(0);
+  for (int i = 0; i < 3; ++i) {
+    h.Retire(nodes[i]);
+  }
+  h.OpEnd();
+  EXPECT_EQ(domain.total_freed(), 0u);  // below the batch threshold
+  h.OpBegin(0);
+  h.Retire(nodes[3]);  // hits the threshold -> quiescence wait -> batch freed
+  h.OpEnd();
+  EXPECT_EQ(domain.total_freed(), 4u);
+  for (void* node : nodes) {
+    EXPECT_FALSE(pool.OwnsLive(node));
+  }
+}
+
+TEST(EpochTest, ReclaimerWaitsForInFlightOperation) {
+  runtime::ThreadScope scope;
+  EpochSmr::Domain domain(/*batch_size=*/1);
+  auto& pool = runtime::PoolAllocator::Instance();
+  std::atomic<int> state{0};  // 0: starting, 1: mid-op, 2: finish requested
+
+  std::thread blocker([&] {
+    runtime::ThreadScope inner;
+    auto& h = domain.AcquireHandle();
+    h.OpBegin(0);  // announce and stall mid-operation
+    state.store(1, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 2) {
+      sched_yield();
+    }
+    h.OpEnd();
+  });
+  while (state.load(std::memory_order_acquire) != 1) {
+    sched_yield();
+  }
+
+  std::atomic<bool> freed{false};
+  std::thread reclaimer([&] {
+    runtime::ThreadScope inner;
+    auto& h = domain.AcquireHandle();
+    void* node = pool.Alloc(32);
+    h.OpBegin(0);
+    h.Retire(node);
+    h.OpEnd();  // batch_size 1: must wait for the blocker here (the blocking flaw)
+    freed.store(true, std::memory_order_release);
+  });
+
+  // Give the reclaimer ample time: it must be parked behind the stalled operation.
+  for (int i = 0; i < 50 && !freed.load(std::memory_order_acquire); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(freed.load(std::memory_order_acquire))
+      << "epoch reclaimed memory while a pre-existing operation was still running";
+  state.store(2, std::memory_order_release);  // unblock -> quiescence -> free
+  reclaimer.join();
+  blocker.join();
+  EXPECT_TRUE(freed.load());
+  EXPECT_EQ(domain.total_freed(), 1u);
+}
+
+TEST(HazardTest, ProtectValidatesAgainstConcurrentChange) {
+  runtime::ThreadScope scope;
+  HazardSmr::Domain domain;
+  auto& h = domain.AcquireHandle();
+  std::atomic<uint64_t> field{123};
+  EXPECT_EQ(h.Protect(field, 0), 123u);
+  // The protect loop re-reads until src is stable; a stable field returns instantly
+  // and publishes the hazard.
+  field.store(456);
+  EXPECT_EQ(h.Protect(field, 0), 456u);
+}
+
+TEST(HazardTest, PublishedHazardBlocksFree) {
+  runtime::ThreadScope scope;
+  HazardSmr::Domain domain(/*scan_threshold=*/1);
+  auto& h = domain.AcquireHandle();
+  auto& pool = runtime::PoolAllocator::Instance();
+
+  void* node = pool.Alloc(32);
+  std::atomic<uint64_t> field{reinterpret_cast<uint64_t>(node)};
+  h.Protect(field, 2);  // publish a hazard for the node
+  h.Retire(node);       // threshold 1 -> immediate scan
+  EXPECT_TRUE(pool.OwnsLive(node)) << "scan freed a hazard-protected node";
+
+  h.OpEnd();       // clears the hazard row
+  void* other = pool.Alloc(32);
+  h.Retire(other);  // second scan reclaims both
+  EXPECT_FALSE(pool.OwnsLive(node));
+  EXPECT_FALSE(pool.OwnsLive(other));
+  EXPECT_EQ(domain.total_freed(), 2u);
+}
+
+TEST(HazardTest, TaggedHazardStillProtects) {
+  runtime::ThreadScope scope;
+  HazardSmr::Domain domain(/*scan_threshold=*/1);
+  auto& h = domain.AcquireHandle();
+  auto& pool = runtime::PoolAllocator::Instance();
+
+  void* node = pool.Alloc(32);
+  // A hazard holding a mark-tagged pointer (base | 1) must pin the node: scanning is
+  // range containment, not equality.
+  h.ProtectRaw(0, reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(node) | 1));
+  h.Retire(node);
+  EXPECT_TRUE(pool.OwnsLive(node));
+  h.OpEnd();
+  void* other = pool.Alloc(32);
+  h.Retire(other);  // re-scan with the hazard row cleared frees both
+  EXPECT_FALSE(pool.OwnsLive(node));
+  EXPECT_FALSE(pool.OwnsLive(other));
+}
+
+TEST(HazardTest, CrossThreadHazardIsVisibleToScans) {
+  HazardSmr::Domain domain(/*scan_threshold=*/1);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* node = pool.Alloc(32);
+  std::atomic<int> state{0};
+
+  std::thread holder([&] {
+    runtime::ThreadScope scope;
+    auto& h = domain.AcquireHandle();
+    std::atomic<uint64_t> field{reinterpret_cast<uint64_t>(node)};
+    h.Protect(field, 0);
+    state.store(1, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 2) {
+      sched_yield();
+    }
+    h.OpEnd();
+    state.store(3, std::memory_order_release);
+  });
+  while (state.load(std::memory_order_acquire) != 1) {
+    sched_yield();
+  }
+
+  {
+    runtime::ThreadScope scope;
+    auto& h = domain.AcquireHandle();
+    h.Retire(node);
+    EXPECT_TRUE(pool.OwnsLive(node));  // pinned by the other thread's hazard
+    state.store(2, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 3) {
+      sched_yield();
+    }
+    void* other = pool.Alloc(32);
+    h.Retire(other);  // re-scan after the hazard cleared
+    EXPECT_FALSE(pool.OwnsLive(node));
+    EXPECT_FALSE(pool.OwnsLive(other));
+  }
+  holder.join();
+}
+
+TEST(DtaTest, NodesRetiredBeforeOpStartAreFreed) {
+  runtime::ThreadScope scope;
+  DtaSmr::Domain domain(/*anchor_interval=*/4, /*batch_size=*/1);
+  auto& h = domain.AcquireHandle();
+  auto& pool = runtime::PoolAllocator::Instance();
+
+  h.OpBegin(0);
+  h.OpEnd();  // idle thread
+  void* node = pool.Alloc(32);
+  h.Retire(node, /*key=*/10);  // batch 1 -> scan now; everyone idle -> freed
+  EXPECT_FALSE(pool.OwnsLive(node));
+  EXPECT_EQ(domain.total_freed(), 1u);
+}
+
+TEST(DtaTest, ConcurrentOpPinsUntilAnchorPasses) {
+  DtaSmr::Domain domain(/*anchor_interval=*/2, /*batch_size=*/1);
+  auto& pool = runtime::PoolAllocator::Instance();
+  std::atomic<int> state{0};
+
+  std::thread traverser([&] {
+    runtime::ThreadScope scope;
+    auto& h = domain.AcquireHandle();
+    h.OpBegin(0);  // op starts before the retire below -> may hold the node
+    state.store(1, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 2) {
+      sched_yield();
+    }
+    // Anchor past key 50 (two hops at interval 2 publish the anchor).
+    h.AnchorHop(40);
+    h.AnchorHop(50);
+    state.store(3, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 4) {
+      sched_yield();
+    }
+    h.OpEnd();
+  });
+  while (state.load(std::memory_order_acquire) != 1) {
+    sched_yield();
+  }
+
+  {
+    runtime::ThreadScope scope;
+    auto& h = domain.AcquireHandle();
+    void* node = pool.Alloc(32);
+    h.Retire(node, /*key=*/20);
+    EXPECT_TRUE(pool.OwnsLive(node)) << "freed a node a same-era operation may hold";
+
+    state.store(2, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 3) {
+      sched_yield();
+    }
+    // The traverser anchored at key 50 > 20: it provably dropped everything below.
+    void* trigger = pool.Alloc(32);
+    h.Retire(trigger, /*key=*/20);
+    EXPECT_FALSE(pool.OwnsLive(node));
+    state.store(4, std::memory_order_release);
+  }
+  traverser.join();
+}
+
+TEST(DtaTest, StalledOperationQuarantinesInsteadOfBlocking) {
+  DtaSmr::Domain domain(/*anchor_interval=*/64, /*batch_size=*/1, /*stall_rounds=*/3);
+  auto& pool = runtime::PoolAllocator::Instance();
+  std::atomic<int> state{0};
+
+  std::thread stalled([&] {
+    runtime::ThreadScope scope;
+    auto& h = domain.AcquireHandle();
+    h.OpBegin(0);  // never anchors, never finishes (a "crashed" reader)
+    state.store(1, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 2) {
+      sched_yield();
+    }
+    h.OpEnd();
+  });
+  while (state.load(std::memory_order_acquire) != 1) {
+    sched_yield();
+  }
+
+  {
+    runtime::ThreadScope scope;
+    auto& h = domain.AcquireHandle();
+    void* node = pool.Alloc(32);
+    h.Retire(node, /*key=*/7);
+    // Each further retire re-scans; after stall_rounds the pinned node moves to the
+    // quarantine so reclamation stays non-blocking (the freezing substitute).
+    for (int round = 0; round < 5; ++round) {
+      void* filler = pool.Alloc(32);
+      h.Retire(filler, /*key=*/1000 + round);
+    }
+    EXPECT_GE(domain.total_quarantined(), 1u);
+    state.store(2, std::memory_order_release);
+  }
+  stalled.join();
+}
+
+TEST(LeakyTest, RetireLeaksByDesign) {
+  runtime::ThreadScope scope;
+  LeakySmr::Domain domain;
+  auto& h = domain.AcquireHandle();
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* node = pool.Alloc(32);
+  h.Retire(node);
+  EXPECT_TRUE(pool.OwnsLive(node));  // never freed by the scheme
+  pool.Free(node);                   // test cleanup
+}
+
+}  // namespace
+}  // namespace stacktrack::smr
