@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_list.dir/fig1_list.cc.o"
+  "CMakeFiles/fig1_list.dir/fig1_list.cc.o.d"
+  "fig1_list"
+  "fig1_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_skiplist.dir/fig1_skiplist.cc.o"
+  "CMakeFiles/fig1_skiplist.dir/fig1_skiplist.cc.o.d"
+  "fig1_skiplist"
+  "fig1_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

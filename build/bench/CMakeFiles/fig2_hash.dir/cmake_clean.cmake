@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hash.dir/fig2_hash.cc.o"
+  "CMakeFiles/fig2_hash.dir/fig2_hash.cc.o.d"
+  "fig2_hash"
+  "fig2_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_queue.dir/fig2_queue.cc.o"
+  "CMakeFiles/fig2_queue.dir/fig2_queue.cc.o.d"
+  "fig2_queue"
+  "fig2_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_aborts.dir/fig3_aborts.cc.o"
+  "CMakeFiles/fig3_aborts.dir/fig3_aborts.cc.o.d"
+  "fig3_aborts"
+  "fig3_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

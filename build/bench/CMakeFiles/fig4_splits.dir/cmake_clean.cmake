@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_splits.dir/fig4_splits.cc.o"
+  "CMakeFiles/fig4_splits.dir/fig4_splits.cc.o.d"
+  "fig4_splits"
+  "fig4_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_slowpath.dir/fig5_slowpath.cc.o"
+  "CMakeFiles/fig5_slowpath.dir/fig5_slowpath.cc.o.d"
+  "fig5_slowpath"
+  "fig5_slowpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_slowpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_htm.dir/micro_htm.cc.o"
+  "CMakeFiles/micro_htm.dir/micro_htm.cc.o.d"
+  "micro_htm"
+  "micro_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_behavior.dir/scan_behavior.cc.o"
+  "CMakeFiles/scan_behavior.dir/scan_behavior.cc.o.d"
+  "scan_behavior"
+  "scan_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

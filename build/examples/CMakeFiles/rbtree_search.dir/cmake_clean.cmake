@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbtree_search.dir/rbtree_search.cc.o"
+  "CMakeFiles/rbtree_search.dir/rbtree_search.cc.o.d"
+  "rbtree_search"
+  "rbtree_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbtree_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

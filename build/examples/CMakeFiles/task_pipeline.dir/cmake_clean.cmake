@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_pipeline.dir/task_pipeline.cc.o"
+  "CMakeFiles/task_pipeline.dir/task_pipeline.cc.o.d"
+  "task_pipeline"
+  "task_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

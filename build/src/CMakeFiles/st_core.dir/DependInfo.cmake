@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/free_proc.cc" "src/CMakeFiles/st_core.dir/core/free_proc.cc.o" "gcc" "src/CMakeFiles/st_core.dir/core/free_proc.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/st_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/st_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/thread_context.cc" "src/CMakeFiles/st_core.dir/core/thread_context.cc.o" "gcc" "src/CMakeFiles/st_core.dir/core/thread_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_core.dir/core/free_proc.cc.o"
+  "CMakeFiles/st_core.dir/core/free_proc.cc.o.d"
+  "CMakeFiles/st_core.dir/core/stats.cc.o"
+  "CMakeFiles/st_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/st_core.dir/core/thread_context.cc.o"
+  "CMakeFiles/st_core.dir/core/thread_context.cc.o.d"
+  "libst_core.a"
+  "libst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

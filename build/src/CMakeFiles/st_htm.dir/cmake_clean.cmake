@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_htm.dir/htm/htm.cc.o"
+  "CMakeFiles/st_htm.dir/htm/htm.cc.o.d"
+  "CMakeFiles/st_htm.dir/htm/rtm_backend.cc.o"
+  "CMakeFiles/st_htm.dir/htm/rtm_backend.cc.o.d"
+  "CMakeFiles/st_htm.dir/htm/soft_backend.cc.o"
+  "CMakeFiles/st_htm.dir/htm/soft_backend.cc.o.d"
+  "libst_htm.a"
+  "libst_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

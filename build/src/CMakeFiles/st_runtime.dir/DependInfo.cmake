@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/heap_registry.cc" "src/CMakeFiles/st_runtime.dir/runtime/heap_registry.cc.o" "gcc" "src/CMakeFiles/st_runtime.dir/runtime/heap_registry.cc.o.d"
+  "/root/repo/src/runtime/machine_model.cc" "src/CMakeFiles/st_runtime.dir/runtime/machine_model.cc.o" "gcc" "src/CMakeFiles/st_runtime.dir/runtime/machine_model.cc.o.d"
+  "/root/repo/src/runtime/pool_alloc.cc" "src/CMakeFiles/st_runtime.dir/runtime/pool_alloc.cc.o" "gcc" "src/CMakeFiles/st_runtime.dir/runtime/pool_alloc.cc.o.d"
+  "/root/repo/src/runtime/thread_registry.cc" "src/CMakeFiles/st_runtime.dir/runtime/thread_registry.cc.o" "gcc" "src/CMakeFiles/st_runtime.dir/runtime/thread_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

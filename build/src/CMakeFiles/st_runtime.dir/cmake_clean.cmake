@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_runtime.dir/runtime/heap_registry.cc.o"
+  "CMakeFiles/st_runtime.dir/runtime/heap_registry.cc.o.d"
+  "CMakeFiles/st_runtime.dir/runtime/machine_model.cc.o"
+  "CMakeFiles/st_runtime.dir/runtime/machine_model.cc.o.d"
+  "CMakeFiles/st_runtime.dir/runtime/pool_alloc.cc.o"
+  "CMakeFiles/st_runtime.dir/runtime/pool_alloc.cc.o.d"
+  "CMakeFiles/st_runtime.dir/runtime/thread_registry.cc.o"
+  "CMakeFiles/st_runtime.dir/runtime/thread_registry.cc.o.d"
+  "libst_runtime.a"
+  "libst_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smr/dta.cc" "src/CMakeFiles/st_smr.dir/smr/dta.cc.o" "gcc" "src/CMakeFiles/st_smr.dir/smr/dta.cc.o.d"
+  "/root/repo/src/smr/epoch.cc" "src/CMakeFiles/st_smr.dir/smr/epoch.cc.o" "gcc" "src/CMakeFiles/st_smr.dir/smr/epoch.cc.o.d"
+  "/root/repo/src/smr/hazard.cc" "src/CMakeFiles/st_smr.dir/smr/hazard.cc.o" "gcc" "src/CMakeFiles/st_smr.dir/smr/hazard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

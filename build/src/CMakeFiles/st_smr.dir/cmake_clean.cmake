@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_smr.dir/smr/dta.cc.o"
+  "CMakeFiles/st_smr.dir/smr/dta.cc.o.d"
+  "CMakeFiles/st_smr.dir/smr/epoch.cc.o"
+  "CMakeFiles/st_smr.dir/smr/epoch.cc.o.d"
+  "CMakeFiles/st_smr.dir/smr/hazard.cc.o"
+  "CMakeFiles/st_smr.dir/smr/hazard.cc.o.d"
+  "libst_smr.a"
+  "libst_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freeproc_test.dir/freeproc_test.cc.o"
+  "CMakeFiles/freeproc_test.dir/freeproc_test.cc.o.d"
+  "freeproc_test"
+  "freeproc_test.pdb"
+  "freeproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freeproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

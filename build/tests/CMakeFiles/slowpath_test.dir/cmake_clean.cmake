@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slowpath_test.dir/slowpath_test.cc.o"
+  "CMakeFiles/slowpath_test.dir/slowpath_test.cc.o.d"
+  "slowpath_test"
+  "slowpath_test.pdb"
+  "slowpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slowpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

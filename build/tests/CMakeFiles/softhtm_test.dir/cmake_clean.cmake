@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softhtm_test.dir/softhtm_test.cc.o"
+  "CMakeFiles/softhtm_test.dir/softhtm_test.cc.o.d"
+  "softhtm_test"
+  "softhtm_test.pdb"
+  "softhtm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softhtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

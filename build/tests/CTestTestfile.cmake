@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/pool_test[1]_include.cmake")
+include("/root/repo/build/tests/softhtm_test[1]_include.cmake")
+include("/root/repo/build/tests/context_test[1]_include.cmake")
+include("/root/repo/build/tests/freeproc_test[1]_include.cmake")
+include("/root/repo/build/tests/slowpath_test[1]_include.cmake")
+include("/root/repo/build/tests/schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
