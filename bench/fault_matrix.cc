@@ -1,0 +1,140 @@
+// Fault matrix: list throughput and peak unreclaimed memory per SMR scheme while the
+// fault injector sweeps forced transaction-abort and thread-stall rates. The abort
+// axis only affects StackTrack (the transactional scheme); the stall axis hurts every
+// scheme, but differently: epoch reclamation backs up behind a stalled reader, while
+// hazard pointers and StackTrack only pin a bounded set of nodes. Stalls here are
+// bounded sleeps (payload microseconds), not gates — an indefinitely parked thread
+// would wedge the epoch scheme's quiescence wait forever by design.
+//
+// Env knobs (shared with the other benches): ST_BENCH_THREADS, ST_BENCH_MS.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.h"
+#include "ds/list.h"
+#include "runtime/fault.h"
+#include "runtime/pool_alloc.h"
+#include "smr/epoch.h"
+#include "smr/hazard.h"
+#include "smr/stacktrack_smr.h"
+
+namespace stacktrack::bench {
+namespace {
+
+namespace fault = runtime::fault;
+
+struct Cell {
+  double mops = 0.0;
+  std::size_t peak_unreclaimed = 0;  // max (allocs - frees) delta over the run
+};
+
+// Samples the pool's live-object count from a sidecar thread while the workload
+// runs: the peak, minus the structure's own size, approximates the worst-case
+// unreclaimed backlog the scheme allowed.
+class LiveObjectsProbe {
+ public:
+  LiveObjectsProbe()
+      : baseline_(runtime::PoolAllocator::Instance().GetStats().live_objects) {
+    sampler_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_acquire)) {
+        const std::size_t live =
+            runtime::PoolAllocator::Instance().GetStats().live_objects;
+        const std::size_t excess = live > baseline_ ? live - baseline_ : 0;
+        if (excess > peak_.load(std::memory_order_relaxed)) {
+          peak_.store(excess, std::memory_order_relaxed);
+        }
+        usleep(200);
+      }
+    });
+  }
+  std::size_t Finish() {
+    stop_.store(true, std::memory_order_release);
+    sampler_.join();
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t baseline_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> peak_{0};
+  std::thread sampler_;
+};
+
+template <typename Smr>
+Cell Point(const WorkloadConfig& cfg, double abort_prob, double stall_prob,
+           uint32_t stall_us) {
+  if (abort_prob > 0.0) {
+    fault::ArmProbability(fault::Site::kSoftTxAbort, abort_prob, cfg.seed);
+  }
+  if (stall_prob > 0.0) {
+    fault::ArmProbability(fault::Site::kThreadStall, stall_prob, cfg.seed ^ 0x5747,
+                          /*payload=*/stall_us);
+  }
+  Cell cell;
+  {
+    LiveObjectsProbe probe;
+    ds::LockFreeList<Smr> list;
+    const WorkloadResult result = RunMapWorkload<Smr>(list, cfg);
+    cell.mops = result.ops_per_sec / 1e6;
+    cell.peak_unreclaimed = probe.Finish();
+  }
+  fault::DisarmAll();
+  return cell;
+}
+
+int Main() {
+  PrintHeader("Fault matrix: throughput / peak unreclaimed under injected faults",
+              "list, 1K nodes, 20% mutations; cells are Mops/s : peak excess objects");
+  constexpr double kAbortProbs[] = {0.0, 0.05, 0.2};
+  constexpr double kStallProbs[] = {0.0, 0.001, 0.01};
+  constexpr uint32_t kStallUs = 500;
+
+  for (const uint32_t threads : EnvThreads()) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.duration_ms = EnvMs();
+    cfg.mutation_percent = 20;
+    cfg.key_range = 2000;
+    cfg.prefill = 1000;
+    cfg.inject_preemption = false;  // the fault injector owns the preempt points here
+
+    std::printf("\n-- %u thread(s) --\n", threads);
+    std::printf("%8s %8s | %18s %18s %18s\n", "abort_p", "stall_p", "Hazards", "Epoch",
+                "StackTrack");
+    for (const double abort_prob : kAbortProbs) {
+      for (const double stall_prob : kStallProbs) {
+        // The abort axis is meaningless for the non-transactional schemes; skip the
+        // redundant rows instead of re-measuring identical configurations.
+        const Cell hp = abort_prob == 0.0
+                            ? Point<smr::HazardSmr>(cfg, 0.0, stall_prob, kStallUs)
+                            : Cell{};
+        const Cell ep = abort_prob == 0.0
+                            ? Point<smr::EpochSmr>(cfg, 0.0, stall_prob, kStallUs)
+                            : Cell{};
+        const Cell st =
+            Point<smr::StackTrackSmr>(cfg, abort_prob, stall_prob, kStallUs);
+        auto print_cell = [](const Cell& c, bool measured) {
+          if (measured) {
+            std::printf(" %9.2f:%-8zu", c.mops, c.peak_unreclaimed);
+          } else {
+            std::printf(" %9s:%-8s", "-", "-");
+          }
+        };
+        std::printf("%8.3f %8.3f |", abort_prob, stall_prob);
+        print_cell(hp, abort_prob == 0.0);
+        print_cell(ep, abort_prob == 0.0);
+        print_cell(st, true);
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stacktrack::bench
+
+int main() { return stacktrack::bench::Main(); }

@@ -3,13 +3,144 @@
 #include <sched.h>
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "htm/htm.h"
+#include "runtime/backoff.h"
+#include "runtime/fault.h"
 #include "runtime/pool_alloc.h"
 
 namespace stacktrack::core {
+
+DeferredFreeList& DeferredFreeList::Instance() {
+  static DeferredFreeList list;
+  return list;
+}
+
+std::size_t DeferredFreeList::Push(void* const* ptrs, std::size_t count) {
+  runtime::LatchGuard guard(latch_);
+  const std::size_t used = size_.load(std::memory_order_relaxed);
+  const std::size_t accepted = std::min(count, kCapacity - used);
+  if (accepted != 0) {
+    std::memcpy(&slots_[used], ptrs, accepted * sizeof(void*));
+    size_.store(used + accepted, std::memory_order_release);
+    if (used + accepted > peak_.load(std::memory_order_relaxed)) {
+      peak_.store(used + accepted, std::memory_order_release);
+    }
+  }
+  return accepted;
+}
+
+std::size_t DeferredFreeList::PopBatch(void** out, std::size_t max) {
+  if (size_.load(std::memory_order_acquire) == 0) {
+    return 0;  // common case: no spillover anywhere, skip the latch
+  }
+  runtime::LatchGuard guard(latch_);
+  const std::size_t used = size_.load(std::memory_order_relaxed);
+  const std::size_t popped = std::min(max, used);
+  if (popped != 0) {
+    std::memcpy(out, &slots_[used - popped], popped * sizeof(void*));
+    size_.store(used - popped, std::memory_order_release);
+  }
+  return popped;
+}
+
 namespace {
+
+// Watchdog bookkeeping shared by all reclaimers. Each ScanAndFree counts as one
+// round; a thread that is mid-operation (op_active set) with an unchanged
+// oper_counter for watchdog_rounds consecutive rounds is flagged as stalled.
+// oper_counter alone cannot distinguish "stalled" from "idle", hence op_active.
+struct Watchdog {
+  runtime::SpinLatch latch;
+  uint64_t round = 0;
+  uint64_t last_oper[runtime::kMaxThreads] = {};
+  uint64_t last_progress_round[runtime::kMaxThreads] = {};
+  std::atomic<uint64_t> stalled_mask{0};
+};
+
+Watchdog& TheWatchdog() {
+  static Watchdog wd;
+  return wd;
+}
+
+void WatchdogTick(StContext& reclaimer) {
+  Watchdog& wd = TheWatchdog();
+  if (!wd.latch.TryLock()) {
+    return;  // another reclaimer is ticking; rounds are global, not per thread
+  }
+  const uint64_t round = ++wd.round;
+  const uint64_t threshold = reclaimer.config().watchdog_rounds;
+  uint64_t mask = wd.stalled_mask.load(std::memory_order_relaxed);
+  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+  for (uint32_t tid = 0; tid < watermark && tid < runtime::kMaxThreads; ++tid) {
+    const uint64_t bit = uint64_t{1} << tid;
+    StContext* target = ActivityArray::Instance().Get(tid);
+    if (target == nullptr) {
+      mask &= ~bit;
+      wd.last_progress_round[tid] = round;
+      continue;
+    }
+    const uint64_t oper = target->oper_counter.load(std::memory_order_acquire);
+    const bool mid_op = target->op_active.load(std::memory_order_acquire) != 0;
+    if (oper != wd.last_oper[tid] || !mid_op) {
+      wd.last_oper[tid] = oper;
+      wd.last_progress_round[tid] = round;
+      mask &= ~bit;
+    } else if ((mask & bit) == 0 && round - wd.last_progress_round[tid] >= threshold) {
+      mask |= bit;
+      ++reclaimer.stats.watchdog_reports;
+    }
+  }
+  wd.stalled_mask.store(mask, std::memory_order_release);
+  wd.latch.Unlock();
+}
+
+// Pulls a batch of previously spilled / handed-off candidates into the reclaimer's
+// free set so they go through the normal liveness scan. Skipped while the local set
+// is already at or above the scan trigger — adopting then would only deepen the
+// backlog the spill was relieving.
+void AdoptDeferred(StContext& reclaimer) {
+  std::vector<void*>& free_set = reclaimer.MutableFreeSet();
+  const uint32_t max_free = reclaimer.config().max_free;
+  if (free_set.size() >= max_free) {
+    return;
+  }
+  void* batch[64];
+  const std::size_t want =
+      std::min<std::size_t>(64, max_free - static_cast<uint32_t>(free_set.size()));
+  const std::size_t n = DeferredFreeList::Instance().PopBatch(batch, want);
+  if (n == 0) {
+    return;
+  }
+  free_set.insert(free_set.end(), batch, batch + n);
+  reclaimer.stats.deferred_adopted += n;
+  reclaimer.NoteFreeSetSize();
+}
+
+// Post-scan back-pressure: when survivors exceed the high-water mark (threads
+// repeatedly answering "live", e.g. one of them is stalled mid-exposure), spill the
+// tail beyond max_free to the global deferred list and raise the scan trigger so the
+// owner stops paying for futile rescans. Decays back once the backlog drains.
+void ApplyBackPressure(StContext& reclaimer) {
+  std::vector<void*>& free_set = reclaimer.MutableFreeSet();
+  const uint32_t max_free = reclaimer.config().max_free;
+  if (free_set.size() > reclaimer.high_water()) {
+    const std::size_t excess = free_set.size() - max_free;
+    const std::size_t accepted =
+        DeferredFreeList::Instance().Push(free_set.data() + max_free, excess);
+    if (accepted != 0) {
+      free_set.erase(free_set.begin() + max_free,
+                     free_set.begin() + static_cast<std::ptrdiff_t>(max_free + accepted));
+      reclaimer.stats.backpressure_spills += accepted;
+    }
+    reclaimer.RaiseScanThreshold();
+  } else if (free_set.size() <= max_free) {
+    reclaimer.DecayScanThreshold();
+  }
+  reclaimer.NoteFreeSetSize();
+}
 
 // One unsynchronized pass over the target's exposed registers and tracked frames.
 // Pointer matching is range containment, which subsumes exact matches, interior
@@ -48,19 +179,33 @@ bool ScanRootsOnce(StContext& reclaimer, const StContext& target, uintptr_t base
 bool InspectThread(StContext& reclaimer, StContext& target, uintptr_t base,
                    std::size_t length, bool check_refset) {
   ++reclaimer.stats.scan_thread_inspects;
+  // Algorithm 1's restart argument assumes the exposing thread always finishes its
+  // commit; a thread preempted (or killed) mid-exposure would otherwise spin this
+  // loop forever and wedge every reclaimer behind it. Cap the retries and answer
+  // "live" on exhaustion — conservatively delaying the free is always safe, the
+  // candidate just stays buffered and back-pressure takes over.
+  const uint32_t retry_cap = reclaimer.config().inspect_retry_cap;
+  runtime::ExponentialBackoff backoff(16, 4096);
+  uint32_t retries = 0;
   const uint64_t oper_pre = target.oper_counter.load(std::memory_order_acquire);
   while (true) {
     const uint64_t seq_pre = target.splits_seq.load(std::memory_order_acquire);
     if ((seq_pre & 1) != 0) {
-      // Register exposure in flight; the exposing thread is committing, i.e. making
-      // progress — wait it out (Algorithm 1's restart argument).
+      // Register exposure in flight; normally the exposing thread is committing,
+      // i.e. making progress — wait it out.
       ++reclaimer.stats.scan_restarts;
+      if (++retries > retry_cap) {
+        ++reclaimer.stats.scan_retry_capped;
+        return true;  // conservative: treat as referenced
+      }
+      backoff.Pause();
       sched_yield();
       if (target.oper_counter.load(std::memory_order_acquire) != oper_pre) {
         return false;  // operation completed; its roots are dead
       }
       continue;
     }
+    runtime::fault::MaybeStall(runtime::fault::Site::kInspectStall);
     bool found = ScanRootsOnce(reclaimer, target, base, length);
     if (!found && check_refset) {
       found = target.ref_set.ContainsRange(base, length);
@@ -72,9 +217,16 @@ bool InspectThread(StContext& reclaimer, StContext& target, uintptr_t base,
       // roots it held are gone. Continue to the next thread (Algorithm 1 lines 25-29).
       return false;
     }
-    if (seq_pre != seq_post) {
+    if (seq_pre != seq_post ||
+        runtime::fault::ShouldFire(runtime::fault::Site::kSplitsBump)) {
+      // A segment committed mid-scan (or the injector pretends one did); rescan.
       ++reclaimer.stats.scan_restarts;
-      continue;  // a segment committed mid-scan; rescan this thread
+      if (++retries > retry_cap) {
+        ++reclaimer.stats.scan_retry_capped;
+        return true;
+      }
+      backoff.Pause();
+      continue;
     }
     return found;
   }
@@ -108,6 +260,7 @@ void ScanAndFree(StContext& reclaimer) {
     // thread (from OpEnd / Free / FlushFrees), never concurrently with itself.
     free_set = &reclaimer.MutableFreeSet();
   }
+  AdoptDeferred(reclaimer);
   std::size_t kept = 0;
   for (std::size_t i = 0; i < free_set->size(); ++i) {
     void* ptr = (*free_set)[i];
@@ -129,6 +282,8 @@ void ScanAndFree(StContext& reclaimer) {
     ++reclaimer.stats.frees;
   }
   free_set->resize(kept);
+  ApplyBackPressure(reclaimer);
+  WatchdogTick(reclaimer);
 }
 
 namespace {
@@ -136,22 +291,40 @@ namespace {
 // Collects one thread's roots (exposed registers + tracked frame words + reference-set
 // entries when requested) into `words`, under the splits/oper consistency protocol.
 // Returns false when the thread's operation completed mid-collection (its roots are
-// dead and nothing is appended).
+// dead and nothing is appended). Unlike InspectThread there is no per-candidate
+// conservative answer here — a root table missing one thread would approve frees that
+// thread still blocks — so on retry exhaustion (or an overflowed reference set, which
+// cannot be enumerated) `*complete` is cleared and the caller must skip ALL frees
+// this round.
 bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool check_refset,
-                        std::vector<uintptr_t>& words) {
+                        std::vector<uintptr_t>& words, bool* complete) {
   ++reclaimer.stats.scan_thread_inspects;
+  if (check_refset && target.ref_set.overflowed()) {
+    *complete = false;
+    return false;
+  }
+  const uint32_t retry_cap = reclaimer.config().inspect_retry_cap;
+  runtime::ExponentialBackoff backoff(16, 4096);
+  uint32_t retries = 0;
   const uint64_t oper_pre = target.oper_counter.load(std::memory_order_acquire);
   while (true) {
     const std::size_t mark = words.size();
     const uint64_t seq_pre = target.splits_seq.load(std::memory_order_acquire);
     if ((seq_pre & 1) != 0) {
       ++reclaimer.stats.scan_restarts;
+      if (++retries > retry_cap) {
+        ++reclaimer.stats.scan_retry_capped;
+        *complete = false;
+        return false;
+      }
+      backoff.Pause();
       sched_yield();
       if (target.oper_counter.load(std::memory_order_acquire) != oper_pre) {
         return false;
       }
       continue;
     }
+    runtime::fault::MaybeStall(runtime::fault::Site::kInspectStall);
     for (uint32_t i = 0; i < kRegisterSlots; ++i) {
       const uintptr_t word = target.exposed_regs[i].load(std::memory_order_acquire);
       ++reclaimer.stats.scan_words;
@@ -191,9 +364,16 @@ bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool chec
       words.resize(mark);
       return false;
     }
-    if (seq_pre != seq_post) {
+    if (seq_pre != seq_post ||
+        runtime::fault::ShouldFire(runtime::fault::Site::kSplitsBump)) {
       words.resize(mark);
       ++reclaimer.stats.scan_restarts;
+      if (++retries > retry_cap) {
+        ++reclaimer.stats.scan_retry_capped;
+        *complete = false;
+        return false;
+      }
+      backoff.Pause();
       continue;
     }
     return true;
@@ -206,23 +386,27 @@ void ScanAndFreeHashed(StContext& reclaimer) {
   ++reclaimer.stats.scan_calls;
   auto& pool = runtime::PoolAllocator::Instance();
   std::vector<void*>& free_set = reclaimer.MutableFreeSet();
+  AdoptDeferred(reclaimer);
 
   // Phase 1: one consistent sweep of every thread's roots into a sorted table.
   const bool check_refsets = reclaimer.config().scan_refsets_always ||
                              GlobalSlowPathCount().load(std::memory_order_acquire) != 0;
   std::vector<uintptr_t> roots;
   roots.reserve(256);
+  bool complete = true;
   const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
   for (uint32_t tid = 0; tid < watermark; ++tid) {
     StContext* target = ActivityArray::Instance().Get(tid);
     if (target == nullptr || target == &reclaimer) {
       continue;
     }
-    CollectThreadRoots(reclaimer, *target, check_refsets, roots);
+    CollectThreadRoots(reclaimer, *target, check_refsets, roots, &complete);
   }
   std::sort(roots.begin(), roots.end());
 
-  // Phase 2: each candidate is a binary range probe instead of a full rescan.
+  // Phase 2: each candidate is a binary range probe instead of a full rescan. A table
+  // missing any thread's roots (retry cap, overflowed refset) cannot prove deadness,
+  // so an incomplete round only drops stale entries and frees nothing.
   std::size_t kept = 0;
   for (std::size_t i = 0; i < free_set.size(); ++i) {
     void* ptr = free_set[i];
@@ -233,7 +417,7 @@ void ScanAndFreeHashed(StContext& reclaimer) {
     const uintptr_t base = reinterpret_cast<uintptr_t>(ptr);
     const std::size_t length = pool.UsableSize(ptr);
     auto it = std::lower_bound(roots.begin(), roots.end(), base);
-    if (it != roots.end() && *it - base < length) {
+    if (!complete || (it != roots.end() && *it - base < length)) {
       ++reclaimer.stats.scan_hits;
       free_set[kept++] = ptr;  // a root points into the candidate; keep it
       continue;
@@ -243,6 +427,12 @@ void ScanAndFreeHashed(StContext& reclaimer) {
     ++reclaimer.stats.frees;
   }
   free_set.resize(kept);
+  ApplyBackPressure(reclaimer);
+  WatchdogTick(reclaimer);
+}
+
+uint64_t StalledThreadMask() {
+  return TheWatchdog().stalled_mask.load(std::memory_order_acquire);
 }
 
 }  // namespace stacktrack::core

@@ -4,12 +4,53 @@
 #ifndef STACKTRACK_CORE_FREE_PROC_H_
 #define STACKTRACK_CORE_FREE_PROC_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 #include "core/thread_context.h"
+#include "runtime/barrier.h"
 
 namespace stacktrack::core {
+
+// Bounded global spillway for free-set candidates that cannot be reclaimed promptly:
+// back-pressured survivors (a stalled thread keeps answering "live") and the
+// unreclaimed buffers of exiting threads. Any thread's later ScanAndFree adopts a
+// batch and retries them under the normal liveness scan, so candidates stranded
+// behind a stall or a dead thread are reclaimed as soon as the stall clears — and the
+// hard capacity keeps total deferred memory bounded even if it never does.
+class DeferredFreeList {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+
+  static DeferredFreeList& Instance();
+
+  DeferredFreeList(const DeferredFreeList&) = delete;
+  DeferredFreeList& operator=(const DeferredFreeList&) = delete;
+
+  // Appends up to `count` candidates, consuming a prefix of `ptrs`. Returns how many
+  // were accepted (the list is full beyond that).
+  std::size_t Push(void* const* ptrs, std::size_t count);
+
+  // Removes up to `max` candidates into `out`; returns the number popped.
+  std::size_t PopBatch(void** out, std::size_t max);
+
+  std::size_t Size() const { return size_.load(std::memory_order_acquire); }
+  std::size_t peak() const { return peak_.load(std::memory_order_acquire); }
+
+ private:
+  DeferredFreeList() = default;
+
+  runtime::SpinLatch latch_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> peak_{0};
+  void* slots_[kCapacity];
+};
+
+// Bit `tid` is set while the watchdog considers that thread stalled: mid-operation
+// with no oper_counter progress across >= StConfig::watchdog_rounds scans. Bits clear
+// when the thread advances. Updated opportunistically by ScanAndFree.
+uint64_t StalledThreadMask();
 
 // Scans every registered thread's roots for references into the reclaimer's free set
 // and returns the memory of unreferenced candidates to the pool (after quarantining the

@@ -38,6 +38,17 @@ struct Stats {
   uint64_t slow_reads = 0;
   uint64_t slow_read_retries = 0;
   uint64_t slow_ops = 0;             // operations forced entirely onto the slow path
+  // Robustness: bounded-retry, back-pressure, and fault-recovery actions. Counters
+  // for the injected faults themselves live in runtime/fault.h (per-site fire
+  // counts); these record how the reclamation layers recovered.
+  uint64_t scan_retry_capped = 0;    // inspections that hit the retry cap -> "live"
+  uint64_t backpressure_raises = 0;  // adaptive scan-threshold increases
+  uint64_t backpressure_spills = 0;  // survivors spilled to the global deferred list
+  uint64_t deferred_adopted = 0;     // deferred candidates adopted by a later scan
+  uint64_t exit_handoffs = 0;        // candidates handed off by an exiting thread
+  uint64_t refset_overflows = 0;     // sticky RefSet overflows (conservative mode)
+  uint64_t watchdog_reports = 0;     // threads newly flagged as stalled mid-operation
+  uint64_t free_set_peak = 0;        // per-thread max free_set size (sums as a bound)
 
   Stats& operator+=(const Stats& other) {
     const uint64_t* src = reinterpret_cast<const uint64_t*>(&other);

@@ -6,6 +6,7 @@
 
 #include "core/free_proc.h"
 #include "runtime/backoff.h"
+#include "runtime/fault.h"
 
 namespace stacktrack::core {
 
@@ -14,8 +15,10 @@ namespace stacktrack::core {
 uint32_t RefSet::Add(uintptr_t value) {
   const uint32_t index = count_.load(std::memory_order_relaxed);
   if (index >= kSlots) {
-    std::fprintf(stderr, "stacktrack: slow-path reference set overflow (%u slots)\n", kSlots);
-    std::abort();
+    // Sticky conservative mode: ContainsRange answers "live" for everything until
+    // Clear(), so not recording the value cannot unpin it for a scanner.
+    overflowed_.store(true, std::memory_order_release);
+    return kOverflowSlot;
   }
   slots_[index].store(value, std::memory_order_release);
   count_.store(index + 1, std::memory_order_release);
@@ -28,9 +31,13 @@ void RefSet::Clear() {
     slots_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_release);
+  overflowed_.store(false, std::memory_order_release);
 }
 
 bool RefSet::ContainsRange(uintptr_t base, std::size_t length) const {
+  if (overflowed_.load(std::memory_order_acquire)) {
+    return true;
+  }
   const uint32_t used = count_.load(std::memory_order_acquire);
   for (uint32_t i = 0; i < used && i < kSlots; ++i) {
     const uintptr_t value = slots_[i].load(std::memory_order_acquire);
@@ -55,20 +62,89 @@ std::atomic<uint32_t>& GlobalSlowPathCount() {
 
 // ---- StContext --------------------------------------------------------------------
 
+namespace {
+
+// Thread-registry exit hook: an exiting thread hands its context's unreclaimed
+// candidates to the global deferred list before its tid is released for reuse, so a
+// dead thread never strands a free_set (the context object itself stays owned by the
+// SMR domain and keeps its activity-array slot).
+void ReapContextOnThreadExit(uint32_t tid) {
+  StContext* ctx = ActivityArray::Instance().Get(tid);
+  if (ctx != nullptr) {
+    ctx->HandOffFreeSet();
+  }
+}
+
+}  // namespace
+
 StContext::StContext(uint32_t tid, const StConfig& config)
     : tid_(tid), config_(config), rng_(0x57ac57acULL ^ (uint64_t{tid} << 32)) {
   tx_retire_.reserve(64);
   free_set_.reserve(config.max_free * 2 + 16);
+  scan_threshold_ = config_.max_free;
   StatsRegistry::Instance().Register(&stats);
   ActivityArray::Instance().Set(tid_, this);
+  runtime::ThreadRegistry::Instance().SetExitHook(&ReapContextOnThreadExit);
 }
 
 StContext::~StContext() {
   ActivityArray::Instance().Set(tid_, nullptr);
-  // Drain what liveness allows; survivors leak (same guarantee the paper gives for a
-  // crashed thread's free buffer).
-  FlushFrees();
+  // Drain what liveness allows; survivors go to the deferred list for other threads
+  // to reclaim (the seed leaked them, matching the paper's crashed-thread caveat).
+  HandOffFreeSet();
   StatsRegistry::Instance().Deregister(&stats);
+}
+
+void StContext::RaiseScanThreshold() {
+  const uint32_t cap = high_water();
+  uint32_t next = scan_threshold_ * 2;
+  if (next > cap) {
+    next = cap;
+  }
+  if (next > scan_threshold_) {
+    scan_threshold_ = next;
+    ++stats.backpressure_raises;
+  }
+}
+
+void StContext::DecayScanThreshold() {
+  if (scan_threshold_ > config_.max_free) {
+    const uint32_t next = scan_threshold_ / 2;
+    scan_threshold_ = next < config_.max_free ? config_.max_free : next;
+  }
+}
+
+void StContext::HandOffFreeSet() {
+  // Drain the global deferred list as well as the local set: during domain teardown
+  // the last-destroyed context is the only reclaimer left, and with an empty local
+  // set FlushFrees alone would never scan, stranding deferred candidates forever.
+  // Each pass adopts a batch and rescans; stop when the list is empty or no longer
+  // shrinking (survivors ping-pong back via back-pressure when a thread is stalled).
+  auto& deferred = DeferredFreeList::Instance();
+  std::size_t deferred_prev = static_cast<std::size_t>(-1);
+  while (true) {
+    FlushFrees();
+    const std::size_t remaining = deferred.Size();
+    if (remaining == 0 || remaining >= deferred_prev) {
+      break;
+    }
+    deferred_prev = remaining;
+    void* batch[64];
+    const std::size_t n = deferred.PopBatch(batch, 64);
+    free_set_.insert(free_set_.end(), batch, batch + n);
+    stats.deferred_adopted += n;
+  }
+  if (free_set_.empty()) {
+    return;
+  }
+  const std::size_t accepted =
+      DeferredFreeList::Instance().Push(free_set_.data(), free_set_.size());
+  if (accepted > 0) {
+    // Push consumed a prefix; shift the (rare) unaccepted tail down. Whatever the
+    // bounded deferred list cannot take is leaked, exactly as before.
+    free_set_.erase(free_set_.begin(), free_set_.begin() + accepted);
+    stats.exit_handoffs += accepted;
+  }
 }
 
 StContext::PredictorCell& StContext::CurrentCell() {
@@ -85,6 +161,7 @@ void StContext::OpBegin(uint32_t op_id) {
     std::abort();
   }
   op_active_ = true;
+  op_active.store(1, std::memory_order_release);
   op_id_ = op_id < kMaxOps ? op_id : kMaxOps - 1;
   segment_index_ = 0;
   attempt_fails_ = 0;
@@ -167,6 +244,9 @@ void StContext::ExposeRegisters() {
   // Owner is the only writer: a load + release store avoids a locked RMW per segment.
   splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
                    std::memory_order_release);  // odd: exposure in flight
+  // Injection: park this thread with the seqlock held odd — the adversarial case for
+  // scanners, whose odd-wait must be bounded (InspectThread's conservative answer).
+  runtime::fault::MaybeStall(runtime::fault::Site::kExposeStall);
   for (uint32_t i = 0; i < kRegisterSlots; ++i) {
     exposed_regs[i].store(live_regs_[i], std::memory_order_release);
   }
@@ -178,6 +258,7 @@ void StContext::SpliceRetires() {
     ++stats.retires;
   }
   tx_retire_.clear();
+  NoteFreeSetSize();
 }
 
 void StContext::CommitSegment() {
@@ -189,6 +270,13 @@ void StContext::CommitSegment() {
     splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
                      std::memory_order_release);  // even
     ref_set.Clear();
+    if (refset_overflowed_) {
+      // The set cannot absorb another slow segment; take the next one on the fast
+      // path even if the operation was forced slow (the conservative regime already
+      // stalls reclamation globally — staying slow would keep it stalled).
+      refset_overflowed_ = false;
+      op_forced_slow_ = false;
+    }
     GlobalSlowPathCount().fetch_sub(1, std::memory_order_acq_rel);
     slow_segment_ = false;
     attempt_fails_ = 0;
@@ -224,6 +312,7 @@ void StContext::OpEnd() {
     splits_seq.store(splits_seq.load(std::memory_order_relaxed) + 1,
                      std::memory_order_release);
     ref_set.Clear();
+    refset_overflowed_ = false;  // op is over; conservative regime ends with it
     GlobalSlowPathCount().fetch_sub(1, std::memory_order_acq_rel);
     slow_segment_ = false;
     ++stats.segments_slow;
@@ -254,12 +343,14 @@ void StContext::OpEnd() {
   }
   oper_counter.store(oper_counter.load(std::memory_order_relaxed) + 1,
                      std::memory_order_release);
+  op_active.store(0, std::memory_order_release);
   ++stats.ops;
   op_active_ = false;
   op_forced_slow_ = false;
   attempt_fails_ = 0;
 
-  if (free_set_.size() >= config_.max_free) {
+  NoteFreeSetSize();
+  if (free_set_.size() >= scan_threshold_) {
     if (config_.hashed_scan) {
       ScanAndFreeHashed(*this);
     } else {
@@ -273,7 +364,8 @@ void StContext::Retire(void* ptr, uint64_t /*key*/) { tx_retire_.push_back(ptr);
 void StContext::Free(void* ptr) {
   free_set_.push_back(ptr);
   ++stats.retires;
-  if (free_set_.size() >= config_.max_free) {
+  NoteFreeSetSize();
+  if (free_set_.size() >= scan_threshold_) {
     if (config_.hashed_scan) {
       ScanAndFreeHashed(*this);
     } else {

@@ -47,29 +47,48 @@ struct StConfig {
   double forced_slow_fraction = 0.0;  // Fig. 5: fraction of ops forced onto slow path
   bool scan_refsets_always = false;   // test hook: scan refsets even with counter == 0
   bool hashed_scan = false;           // §5.2 optimization: one root sweep per scan
+  // Robustness knobs (see DESIGN.md "Failure model & fault injection").
+  uint32_t inspect_retry_cap = 64;    // splits-counter retries before conservative "live"
+  uint32_t free_highwater_mult = 4;   // back-pressure high water = mult * max_free
+  uint32_t watchdog_rounds = 8;       // scans without oper progress -> thread reported
 };
 
 // Slow-path reference set (Algorithm 5). Owner appends/tombstones; scanners read
 // concurrently. Entries are never compacted mid-operation so a scanner can never miss
 // a live reference; Clear() happens only after the segment's roots were exposed.
+//
+// Overflow is a sticky state, not a process abort: once full, Add() returns
+// kOverflowSlot and the set answers every ContainsRange query "yes" until Clear().
+// That is the conservative direction (scanners keep all candidates alive), so safety
+// is preserved while the owner finishes the segment and retries on the fast path.
 class RefSet {
  public:
   static constexpr uint32_t kSlots = 16384;
+  static constexpr uint32_t kOverflowSlot = ~0u;
 
-  // Returns the slot used. Aborts the process on overflow (contract: ops touch fewer
-  // than kSlots shared words; the data structures here are far below that).
+  // Returns the slot used, or kOverflowSlot when the set is full (sticky until
+  // Clear(); the value is NOT recorded, which ContainsRange compensates for by
+  // answering conservatively).
   uint32_t Add(uintptr_t value);
-  void Tombstone(uint32_t slot) { slots_[slot].store(0, std::memory_order_release); }
+  void Tombstone(uint32_t slot) {
+    if (slot < kSlots) {
+      slots_[slot].store(0, std::memory_order_release);
+    }
+  }
   void Clear();
 
-  // Scanner: does any recorded value point into [base, base + length)?
+  // Scanner: does any recorded value point into [base, base + length)? Always true
+  // while the set is in the overflowed state.
   bool ContainsRange(uintptr_t base, std::size_t length) const;
+
+  bool overflowed() const { return overflowed_.load(std::memory_order_acquire); }
 
   uint32_t size() const { return count_.load(std::memory_order_acquire); }
   uintptr_t slot(uint32_t index) const { return slots_[index].load(std::memory_order_acquire); }
 
  private:
   std::atomic<uint32_t> count_{0};
+  std::atomic<bool> overflowed_{false};
   std::atomic<uintptr_t> slots_[kSlots] = {};
 };
 
@@ -201,6 +220,26 @@ class StContext {
   // Owner-thread access for ScanAndFree (never called concurrently with itself).
   std::vector<void*>& MutableFreeSet() { return free_set_; }
 
+  // ---- Back-pressure (owner-thread only; driven by ScanAndFree) --------------------
+  // Scans trigger when free_set reaches scan_threshold(). The threshold starts at
+  // max_free and is raised (x2, capped at free_highwater_mult * max_free) by
+  // ScanAndFree when survivors pile past the high water mark — scanning more often
+  // against a stalled thread is pure waste — and decays back once pressure clears.
+  uint32_t scan_threshold() const { return scan_threshold_; }
+  uint32_t high_water() const { return config_.free_highwater_mult * config_.max_free; }
+  void RaiseScanThreshold();
+  void DecayScanThreshold();
+  void NoteFreeSetSize() {
+    if (free_set_.size() > stats.free_set_peak) {
+      stats.free_set_peak = free_set_.size();
+    }
+  }
+
+  // Called on the owning thread when it exits (thread-registry exit hook) and at
+  // context destruction: drains what liveness allows, then hands surviving
+  // candidates to the global deferred list instead of leaking them.
+  void HandOffFreeSet();
+
   // ---- Root registration -----------------------------------------------------------
   void RegisterFrame(uintptr_t* base, uint32_t words);
   void DeregisterFrame(uintptr_t* base);
@@ -215,6 +254,10 @@ class StContext {
   // change across a scan invalidates it (paper's splits-counter protocol).
   std::atomic<uint64_t> splits_seq{0};
   std::atomic<uint64_t> oper_counter{0};
+  // 1 while an operation is in flight. The stalled-thread watchdog needs it to tell
+  // "mid-operation and not advancing" (a stall) from "idle" (oper_counter is static
+  // in both cases, and its change-means-roots-dead semantics cannot be overloaded).
+  std::atomic<uint32_t> op_active{0};
   std::atomic<uintptr_t> exposed_regs[kRegisterSlots] = {};
   struct FrameRec {
     std::atomic<uintptr_t> lo{0};
@@ -250,11 +293,18 @@ class StContext {
       const T value = htm::SafeLoad(src);
       ++stats.slow_reads;
       const uint32_t slot = ref_set.Add(std::bit_cast<uintptr_t>(value));
+      if (slot == RefSet::kOverflowSlot && !refset_overflowed_) [[unlikely]] {
+        // Sticky overflow: the set now answers every scanner query "live", so
+        // unrecorded values stay protected. Finish this segment under the
+        // conservative regime, then retry on the fast path (CommitSegment/OpEnd).
+        refset_overflowed_ = true;
+        ++stats.refset_overflows;
+      }
       std::atomic_thread_fence(std::memory_order_seq_cst);
       if (std::bit_cast<uintptr_t>(htm::SafeLoad(src)) == std::bit_cast<uintptr_t>(value)) {
         return value;
       }
-      ref_set.Tombstone(slot);
+      ref_set.Tombstone(slot);  // ignores kOverflowSlot
       ++stats.slow_read_retries;
     }
   }
@@ -274,9 +324,11 @@ class StContext {
   uint32_t steps_ = 0;
   uint32_t limit_ = 1;
   uint32_t attempt_fails_ = 0;   // consecutive failures of the current segment
+  uint32_t scan_threshold_ = 0;  // adaptive free-set scan trigger (back-pressure)
   bool op_active_ = false;
   bool op_forced_slow_ = false;  // whole operation on slow path (Fig. 5)
   bool slow_segment_ = false;    // current segment runs on the slow path
+  bool refset_overflowed_ = false;  // seen an overflow in the current slow segment
   PredictorCell predictor_[kMaxOps][kMaxSegments];
 
   // Root storage and rollback snapshots.

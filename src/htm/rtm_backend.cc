@@ -12,6 +12,8 @@
 #include <immintrin.h>
 #endif
 
+#include "runtime/fault.h"
+
 namespace stacktrack::htm {
 
 // AbortCause codes, duplicated to avoid including htm.h from a -mrtm TU.
@@ -61,6 +63,12 @@ bool RtmUsableImpl() {
 int RtmBeginPointImpl() {
   const unsigned status = _xbegin();
   if (status == _XBEGIN_STARTED) {
+    if (runtime::fault::ShouldFire(runtime::fault::Site::kRtmTxAbort)) [[unlikely]] {
+      // Forced hardware abort. Note the visit counter bump inside ShouldFire is
+      // itself transactional state and rolls back with the abort, so Visits() only
+      // reflects injector activity approximately under RTM.
+      _xabort(0xfe);
+    }
     return 0;
   }
   if ((status & _XABORT_EXPLICIT) != 0) {

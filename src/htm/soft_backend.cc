@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "runtime/backoff.h"
+#include "runtime/fault.h"
 #include "runtime/machine_model.h"
 
 namespace stacktrack::htm::soft {
@@ -44,6 +45,12 @@ int BeginPoint(int jmp_rc) {
   tx.capacity_limit = model.CapacityLinesNow();
   tx.spurious_prob = model.SpuriousAbortProbNow();
   tx.spurious_enabled = tx.spurious_prob > 0.0;
+  if (runtime::fault::ShouldFire(runtime::fault::Site::kSoftTxAbort)) [[unlikely]] {
+    // Forced abort right after begin, driving the caller's retry/escalation path.
+    // The site payload selects the reported cause (default: conflict).
+    const uint64_t payload = runtime::fault::Payload(runtime::fault::Site::kSoftTxAbort);
+    AbortTx(tx, payload != 0 ? static_cast<int>(payload) : kCauseConflict);
+  }
   return 0;
 }
 

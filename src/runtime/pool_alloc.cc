@@ -2,6 +2,7 @@
 
 #include <execinfo.h>
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <atomic>
 
@@ -9,6 +10,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "runtime/backoff.h"
+#include "runtime/fault.h"
 #include "runtime/heap_registry.h"
 
 namespace stacktrack::runtime {
@@ -58,7 +61,15 @@ std::size_t PoolAllocator::ClassIndexFor(std::size_t size) {
 }
 
 void PoolAllocator::RefillClass(SizeClass& size_class) {
-  char* slab = static_cast<char*>(MapAligned(kSlabBytes));
+  // Transient mmap failure (address-space fragmentation, momentary commit pressure)
+  // gets a few retries before the process gives up for good.
+  char* slab = nullptr;
+  for (uint32_t attempt = 0; attempt < 4 && slab == nullptr; ++attempt) {
+    if (attempt != 0) {
+      usleep(1000u << attempt);
+    }
+    slab = static_cast<char*>(MapAligned(kSlabBytes));
+  }
   if (slab == nullptr) {
     std::fprintf(stderr, "stacktrack: pool slab mmap failed\n");
     std::abort();
@@ -69,6 +80,34 @@ void PoolAllocator::RefillClass(SizeClass& size_class) {
 }
 
 void* PoolAllocator::Alloc(std::size_t size) {
+  void* user = AllocImpl(size);
+  if (user == nullptr) [[unlikely]] {
+    // Injected allocation failure: absorb it here so every existing call site keeps
+    // the non-null contract. The retry is bounded only by the injection schedule; a
+    // schedule that fails every visit forever is a configuration error, matching the
+    // pre-existing abort-on-OOM policy.
+    ExponentialBackoff backoff(64, 8192);
+    do {
+      alloc_fault_retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff.Pause();
+      user = AllocImpl(size);
+    } while (user == nullptr);
+  }
+  return user;
+}
+
+void* PoolAllocator::AllocOrNull(std::size_t size) {
+  void* user = AllocImpl(size);
+  if (user == nullptr) {
+    alloc_fault_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return user;
+}
+
+void* PoolAllocator::AllocImpl(std::size_t size) {
+  if (fault::ShouldFire(fault::Site::kAllocFail)) [[unlikely]] {
+    return nullptr;
+  }
   const std::size_t index = ClassIndexFor(size);
   SizeClass& size_class = classes_[index].value;
   BlockHeader* header = nullptr;
@@ -148,6 +187,7 @@ PoolStats PoolAllocator::GetStats() const {
   stats.live_objects = live_objects_.load(std::memory_order_relaxed);
   stats.total_allocs = total_allocs_.load(std::memory_order_relaxed);
   stats.total_frees = total_frees_.load(std::memory_order_relaxed);
+  stats.alloc_fault_retries = alloc_fault_retries_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -29,6 +29,8 @@ struct PoolStats {
   std::size_t live_objects = 0;
   std::size_t total_allocs = 0;
   std::size_t total_frees = 0;
+  // Allocations that hit an injected fault (fault::Site::kAllocFail) and retried.
+  std::size_t alloc_fault_retries = 0;
 };
 
 class PoolAllocator {
@@ -39,8 +41,14 @@ class PoolAllocator {
   PoolAllocator& operator=(const PoolAllocator&) = delete;
 
   // Allocates at least `size` bytes (16-byte aligned). Aborts on OOM — benchmark
-  // processes have no sensible recovery.
+  // processes have no sensible recovery. Injected allocation faults
+  // (fault::Site::kAllocFail) are absorbed by bounded retry with backoff, so the
+  // non-null contract holds for existing callers even under injection.
   void* Alloc(std::size_t size);
+
+  // Like Alloc, but surfaces injected allocation faults as nullptr instead of
+  // retrying. For callers (and tests) that handle allocation failure themselves.
+  void* AllocOrNull(std::size_t size);
 
   // Returns the block to its size-class free list after poisoning the user area.
   // The pages stay mapped forever (type stability).
@@ -93,11 +101,14 @@ class PoolAllocator {
   // Maps a fresh 2 MiB-aligned slab. Called with the class latch held.
   void RefillClass(SizeClass& size_class);
 
+  void* AllocImpl(std::size_t size);
+
   CacheAligned<SizeClass> classes_[kClassCount];
   std::atomic<std::size_t> bytes_mapped_{0};
   std::atomic<std::size_t> live_objects_{0};
   std::atomic<std::size_t> total_allocs_{0};
   std::atomic<std::size_t> total_frees_{0};
+  std::atomic<std::size_t> alloc_fault_retries_{0};
 };
 
 }  // namespace stacktrack::runtime

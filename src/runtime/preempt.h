@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/fault.h"
 #include "runtime/rand.h"
 
 namespace stacktrack::runtime {
@@ -47,10 +48,15 @@ inline void DisarmPreemption() {
   internal::g_preempt_threshold.store(0, std::memory_order_relaxed);
 }
 
-// Called by the data structures once per traversal step.
+// Called by the data structures once per traversal step. Doubles as the fault
+// injector's thread-level fault point (kThreadStall / kThreadDeath), so every
+// traversal step is a place a thread can be stalled or killed deterministically.
 inline void PreemptPoint() {
   if (internal::g_preempt_threshold.load(std::memory_order_relaxed) != 0) [[unlikely]] {
     internal::PreemptPointSlow();
+  }
+  if (fault::AnyArmed()) [[unlikely]] {
+    fault::ThreadFaultPoint();
   }
 }
 

@@ -61,6 +61,9 @@ uint32_t ThreadRegistry::RegisterCurrentThread() {
 }
 
 void ThreadRegistry::Deregister(uint32_t tid) {
+  if (const ExitHook hook = exit_hook_.load(std::memory_order_acquire)) {
+    hook(tid);  // on the exiting thread, while tid is still valid
+  }
   ThreadSlot& s = slots_[tid].value;
   s.stack_lo.store(0, std::memory_order_release);
   s.stack_hi.store(0, std::memory_order_release);

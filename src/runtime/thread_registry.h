@@ -30,6 +30,12 @@ struct ThreadSlot {
 
 class ThreadRegistry {
  public:
+  // Runs on the exiting thread inside Deregister, before the slot is released for
+  // reuse. Higher layers install it to reap per-thread reclamation state (an exiting
+  // thread hands its unreclaimed free_set to the global deferred list rather than
+  // stranding it behind a dead thread id).
+  using ExitHook = void (*)(uint32_t tid);
+
   static ThreadRegistry& Instance();
 
   ThreadRegistry(const ThreadRegistry&) = delete;
@@ -39,8 +45,12 @@ class ThreadRegistry {
   // Aborts the process if more than kMaxThreads threads register at once.
   uint32_t RegisterCurrentThread();
 
-  // Releases the slot. The id may be handed to another thread afterwards.
+  // Releases the slot (running the exit hook first, on the calling thread). The id
+  // may be handed to another thread afterwards.
   void Deregister(uint32_t tid);
+
+  // Installs the exit hook (idempotent; last writer wins).
+  void SetExitHook(ExitHook hook) { exit_hook_.store(hook, std::memory_order_release); }
 
   // Number of currently registered threads (racy snapshot; used by the machine model).
   uint32_t active_count() const { return active_count_.load(std::memory_order_acquire); }
@@ -56,6 +66,7 @@ class ThreadRegistry {
   CacheAligned<ThreadSlot> slots_[kMaxThreads];
   std::atomic<uint32_t> active_count_{0};
   std::atomic<uint32_t> high_watermark_{0};
+  std::atomic<ExitHook> exit_hook_{nullptr};
 };
 
 // Dense id of the calling thread, or kInvalidThreadId when unregistered.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 
 #include "core/free_proc.h"
 #include "core/split_engine.h"
@@ -230,6 +231,32 @@ TEST_F(SplitEngineTest, PerSegmentPredictorCellsAreIndependent) {
   EXPECT_GT(ctx.predictor_limit(9, 0), 6u);
   EXPECT_GT(ctx.predictor_limit(9, 1), 6u);
   EXPECT_EQ(ctx.predictor_limit(0, 0), 0u);  // untouched cell stays uninitialized
+}
+
+// RefSet overflow must not abort the process: Add reports kOverflowSlot, the set goes
+// sticky-conservative (every range query answers "maybe"), tombstoning the sentinel
+// slot is harmless, and Clear restores normal operation.
+TEST(RefSetTest, OverflowIsStickyAndConservativeNotFatal) {
+  auto set = std::make_unique<RefSet>();  // too large for the stack
+  for (uint32_t i = 0; i < RefSet::kSlots; ++i) {
+    ASSERT_NE(set->Add(0x1000 + i * 16), RefSet::kOverflowSlot);
+  }
+  EXPECT_FALSE(set->overflowed());
+  const uint32_t slot = set->Add(0xdead0000);
+  EXPECT_EQ(slot, RefSet::kOverflowSlot);
+  EXPECT_TRUE(set->overflowed());
+  EXPECT_EQ(set->Add(0xbeef0000), RefSet::kOverflowSlot);  // sticky
+
+  // Conservative: even a range no recorded value falls into answers "maybe".
+  EXPECT_TRUE(set->ContainsRange(0x900000000, 64));
+  set->Tombstone(slot);  // sentinel slot; must be a no-op, not an OOB store
+  EXPECT_TRUE(set->overflowed());
+
+  set->Clear();
+  EXPECT_FALSE(set->overflowed());
+  EXPECT_EQ(set->size(), 0u);
+  EXPECT_FALSE(set->ContainsRange(0x900000000, 64));
+  EXPECT_NE(set->Add(0x2000), RefSet::kOverflowSlot);  // usable again after Clear
 }
 
 }  // namespace

@@ -244,15 +244,25 @@ TEST(PreemptTest, DisarmedHookNeverSleeps) {
 }
 
 TEST(PreemptTest, ArmedHookSleepsApproximatelyAtRate) {
+  // Probabilistic: 256 visits at p=1/64 miss entirely with probability (63/64)^256
+  // ~ 1.8%, which is far too flaky for a single-shot assertion. Re-run the bounded
+  // experiment until a sleep is observed; 8 independent attempts push the false-
+  // failure rate below 1e-13 while any real regression (hook never sleeping) still
+  // fails fast.
   ArmPreemption(1.0 / 64.0, 1000);  // ~1 ms sleep per 64 visits
-  const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < 256; ++i) {
-    PreemptPoint();
+  bool slept = false;
+  for (int attempt = 0; attempt < 8 && !slept; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 256; ++i) {
+      PreemptPoint();
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    slept = ms > 0.5;
   }
-  const double ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
   DisarmPreemption();
-  EXPECT_GT(ms, 0.5);  // at least one sleep fired with overwhelming probability
+  EXPECT_TRUE(slept) << "no injected sleep observed in 8x256 armed visits";
 }
 
 }  // namespace
