@@ -148,10 +148,14 @@ void ApplyBackPressure(StContext& reclaimer) {
 // low pointer bits by the data structures.
 bool ScanRootsOnce(StContext& reclaimer, const StContext& target, uintptr_t base,
                    std::size_t length) {
+  // scan_words accumulates locally and is flushed once per exit — a per-word store
+  // to the (cross-thread-summed) stats block is a hot-loop write the scan can skip.
+  uint64_t scanned = 0;
   for (uint32_t i = 0; i < kRegisterSlots; ++i) {
     const uintptr_t word = target.exposed_regs[i].load(std::memory_order_acquire);
-    ++reclaimer.stats.scan_words;
+    ++scanned;
     if (word - base < length) {
+      reclaimer.stats.scan_words += scanned;
       return true;
     }
   }
@@ -165,12 +169,14 @@ bool ScanRootsOnce(StContext& reclaimer, const StContext& target, uintptr_t base
     for (uintptr_t addr = lo; addr + sizeof(uintptr_t) <= hi; addr += sizeof(uintptr_t)) {
       const uintptr_t word =
           reinterpret_cast<const std::atomic<uintptr_t>*>(addr)->load(std::memory_order_acquire);
-      ++reclaimer.stats.scan_words;
+      ++scanned;
       if (word - base < length) {
+        reclaimer.stats.scan_words += scanned;
         return true;
       }
     }
   }
+  reclaimer.stats.scan_words += scanned;
   return false;
 }
 
@@ -306,6 +312,9 @@ bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool chec
   const uint32_t retry_cap = reclaimer.config().inspect_retry_cap;
   runtime::ExponentialBackoff backoff(16, 4096);
   uint32_t retries = 0;
+  // As in ScanRootsOnce, scan_words accumulates locally (across retries too, like
+  // the old per-word counter did) and is flushed once per exit path.
+  uint64_t scanned = 0;
   const uint64_t oper_pre = target.oper_counter.load(std::memory_order_acquire);
   while (true) {
     const std::size_t mark = words.size();
@@ -315,11 +324,13 @@ bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool chec
       if (++retries > retry_cap) {
         ++reclaimer.stats.scan_retry_capped;
         *complete = false;
+        reclaimer.stats.scan_words += scanned;
         return false;
       }
       backoff.Pause();
       sched_yield();
       if (target.oper_counter.load(std::memory_order_acquire) != oper_pre) {
+        reclaimer.stats.scan_words += scanned;
         return false;
       }
       continue;
@@ -327,7 +338,7 @@ bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool chec
     runtime::fault::MaybeStall(runtime::fault::Site::kInspectStall);
     for (uint32_t i = 0; i < kRegisterSlots; ++i) {
       const uintptr_t word = target.exposed_regs[i].load(std::memory_order_acquire);
-      ++reclaimer.stats.scan_words;
+      ++scanned;
       if (word != 0) {
         words.push_back(word);
       }
@@ -343,7 +354,7 @@ bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool chec
         const uintptr_t word =
             reinterpret_cast<const std::atomic<uintptr_t>*>(addr)->load(
                 std::memory_order_acquire);
-        ++reclaimer.stats.scan_words;
+        ++scanned;
         if (word != 0) {
           words.push_back(word);
         }
@@ -362,6 +373,7 @@ bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool chec
     const uint64_t oper_post = target.oper_counter.load(std::memory_order_acquire);
     if (oper_pre != oper_post) {
       words.resize(mark);
+      reclaimer.stats.scan_words += scanned;
       return false;
     }
     if (seq_pre != seq_post ||
@@ -371,11 +383,13 @@ bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool chec
       if (++retries > retry_cap) {
         ++reclaimer.stats.scan_retry_capped;
         *complete = false;
+        reclaimer.stats.scan_words += scanned;
         return false;
       }
       backoff.Pause();
       continue;
     }
+    reclaimer.stats.scan_words += scanned;
     return true;
   }
 }

@@ -37,7 +37,10 @@ void StatsRegistry::Deregister(Stats* stats) {
   runtime::LatchGuard guard(state.latch);
   auto it = std::find(state.live.begin(), state.live.end(), stats);
   if (it != state.live.end()) {
-    state.live.erase(it);
+    // Swap-pop: registration order carries no meaning here, and erase() would shift
+    // the tail on every thread exit.
+    *it = state.live.back();
+    state.live.pop_back();
     state.retired += *stats;
   }
 }

@@ -78,6 +78,9 @@ static_assert(sizeof(Stats) % sizeof(uint64_t) == 0);
 
 // Tracks all live per-thread Stats blocks. Threads register at context creation and
 // fold their counters into a retired total at destruction, so sums never lose events.
+// runtime's PoolAllocator uses the same register/fold-on-exit discipline for its
+// per-thread allocation tallies (it cannot depend on this class — core sits above
+// runtime in the layering).
 class StatsRegistry {
  public:
   static StatsRegistry& Instance();

@@ -84,7 +84,7 @@ StContext::StContext(uint32_t tid, const StConfig& config)
   scan_threshold_ = config_.max_free;
   StatsRegistry::Instance().Register(&stats);
   ActivityArray::Instance().Set(tid_, this);
-  runtime::ThreadRegistry::Instance().SetExitHook(&ReapContextOnThreadExit);
+  runtime::ThreadRegistry::Instance().AddExitHook(&ReapContextOnThreadExit);
 }
 
 StContext::~StContext() {

@@ -235,7 +235,8 @@ class StContext {
     }
   }
 
-  // Called on the owning thread when it exits (thread-registry exit hook) and at
+  // Called on the owning thread when it exits (via the thread-registry exit-hook
+  // chain, alongside the pool allocator's magazine flush) and at
   // context destruction: drains what liveness allows, then hands surviving
   // candidates to the global deferred list instead of leaking them.
   void HandOffFreeSet();

@@ -1,5 +1,7 @@
 #include "runtime/heap_registry.h"
 
+#include "runtime/pool_alloc.h"
+
 namespace stacktrack::runtime {
 
 HeapRegistry& HeapRegistry::Instance() {
@@ -20,6 +22,17 @@ void HeapRegistry::Erase(uintptr_t base) {
 }
 
 uintptr_t HeapRegistry::OwningObject(uintptr_t addr) const {
+  // Pool memory first: latch-free arithmetic against the slab directory. A hit is
+  // authoritative — pool slabs are never foreign-registered, so a dead block (base
+  // 0) cannot shadow a map entry.
+  uintptr_t base = 0;
+  if (PoolAllocator::Instance().ResolvePoolAddress(addr, &base)) {
+    return base;
+  }
+  return OwningForeign(addr);
+}
+
+uintptr_t HeapRegistry::OwningForeign(uintptr_t addr) const {
   const Shard& shard = shards_[ShardOf(addr)].value;
   LatchGuard guard(shard.latch);
   auto it = shard.ranges.upper_bound(addr);

@@ -1,13 +1,17 @@
 // Range index over live dynamic allocations.
 //
-// Mirrors the paper's malloc-hook side table (§5.5): every allocation registers
-// (start, length); the StackTrack free procedure then resolves *interior* pointers
-// (array element addresses, member addresses) back to the owning object so a hidden
-// `base + k` reference still protects the object.
+// Mirrors the paper's malloc-hook side table (§5.5): the StackTrack free procedure
+// resolves *interior* pointers (array element addresses, member addresses) back to
+// the owning object so a hidden `base + k` reference still protects the object.
 //
-// Sharding: the pool allocator hands out objects from 2 MiB-aligned slabs and never
-// lets an object span a 2 MiB boundary, so the shard of any interior address equals
-// the shard of its base address and queries stay single-shard.
+// Two tiers:
+//  * Pool memory resolves latch-free through PoolAllocator's slab directory — pure
+//    arithmetic plus a magic-word liveness check, no registration per allocation.
+//    This is the scan-path common case (every free-set candidate is pool-owned).
+//  * Foreign ranges (anything registered explicitly via Insert) live in the latched
+//    shard maps, keyed so that queries stay single-shard as long as a registered
+//    object never spans a 2 MiB boundary — the invariant the pool guarantees and
+//    foreign registrants must uphold themselves.
 #ifndef STACKTRACK_RUNTIME_HEAP_REGISTRY_H_
 #define STACKTRACK_RUNTIME_HEAP_REGISTRY_H_
 
@@ -27,19 +31,29 @@ class HeapRegistry {
   HeapRegistry(const HeapRegistry&) = delete;
   HeapRegistry& operator=(const HeapRegistry&) = delete;
 
-  // Records a live allocation [base, base + length).
+  // Records a live foreign allocation [base, base + length). Pool allocations need
+  // no registration — the slab directory already covers them.
   void Insert(uintptr_t base, std::size_t length);
 
-  // Removes the record. No-op if absent (e.g., foreign memory).
+  // Removes the record. No-op if absent.
   void Erase(uintptr_t base);
 
-  // If `addr` lies inside a registered allocation, returns its base; otherwise 0.
-  // An exact base address also returns itself.
+  // If `addr` lies inside a live pool block or a registered foreign allocation,
+  // returns its base; otherwise 0. An exact base address also returns itself.
+  // Latch-free for pool addresses (slab-directory arithmetic).
   uintptr_t OwningObject(uintptr_t addr) const;
 
-  // True when `addr` points into the allocation starting at `base`.
-  bool SameObject(uintptr_t base, uintptr_t addr) const { return OwningObject(addr) == base; }
+  // True when both addresses fall inside the same live allocation.
+  bool SameObject(uintptr_t a, uintptr_t b) const {
+    const uintptr_t base = OwningObject(a);
+    return base != 0 && base == OwningObject(b);
+  }
 
+  // Resolves via the latched foreign-range maps only, bypassing the slab directory.
+  // Exists so tests can prove the two paths agree; scan paths use OwningObject.
+  uintptr_t OwningForeign(uintptr_t addr) const;
+
+  // Number of registered foreign ranges (pool liveness lives in PoolStats).
   std::size_t live_count() const;
 
  private:

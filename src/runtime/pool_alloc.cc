@@ -4,15 +4,16 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
-
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
-#include "runtime/heap_registry.h"
+#include "runtime/thread_registry.h"
 
 namespace stacktrack::runtime {
 namespace {
@@ -40,6 +41,119 @@ void* MapAligned(std::size_t bytes) {
 
 }  // namespace
 
+// ---- Per-thread magazine cache -----------------------------------------------------
+
+// One per thread that touches the pool. Magazines hold FREE blocks (poisoned, magic
+// != live) so the alloc/free fast path is a thread-local array push/pop; the tallies
+// make GetStats fold-on-read instead of hot-path shared counters (same discipline as
+// core::StatsRegistry: register at birth, fold into retired totals at death).
+struct PoolThreadCache {
+  struct Magazine {
+    void* items[PoolAllocator::kMagazineCapacity];
+    std::size_t count = 0;
+  };
+
+  Magazine magazines[PoolAllocator::kClassCount];
+  // Written only by the owning thread (plain load+store, no RMW); GetStats reads
+  // them racily under the cache-registry latch while folding a snapshot.
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+
+  void BumpAllocs() {
+    allocs.store(allocs.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  void BumpFrees() {
+    frees.store(frees.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  // Hands every cached block back to the shared free lists (one latched batch per
+  // non-empty class). Tallies stay put — they are folded, not transferred.
+  void FlushMagazines(PoolAllocator& pool) {
+    for (std::size_t c = 0; c < PoolAllocator::kClassCount; ++c) {
+      Magazine& mag = magazines[c];
+      if (mag.count != 0) {
+        pool.FlushBatch(c, mag.items, mag.count);
+        mag.count = 0;
+      }
+    }
+  }
+};
+
+namespace {
+
+// Registry of live caches plus totals folded out of dead ones. Leaked on purpose:
+// late-exiting threads run their TLS destructors after static teardown begins.
+struct CacheRegistry {
+  SpinLatch latch;
+  std::vector<PoolThreadCache*> live;
+  uint64_t retired_allocs = 0;
+  uint64_t retired_frees = 0;
+};
+
+CacheRegistry& Caches() {
+  static CacheRegistry* registry = new CacheRegistry;
+  return *registry;
+}
+
+void FlushCacheOnThreadExit(uint32_t /*tid*/) {
+  PoolAllocator::Instance().FlushThreadCache();
+}
+
+thread_local PoolThreadCache* tls_cache = nullptr;
+thread_local bool tls_cache_dead = false;
+
+// Owns the cache for TLS lifetime management. The destructor drains the magazines
+// (the exit-hook chain usually already did, but threads that never registered with
+// ThreadRegistry — or that free pool blocks after Deregister — end here) and folds
+// the tallies into the retired totals.
+struct CacheTls {
+  PoolThreadCache cache;
+
+  CacheTls() {
+    {
+      CacheRegistry& reg = Caches();
+      LatchGuard guard(reg.latch);
+      reg.live.push_back(&cache);
+    }
+    // The flush leg of the thread-exit hook chain (idempotent to install).
+    ThreadRegistry::Instance().AddExitHook(&FlushCacheOnThreadExit);
+    tls_cache = &cache;
+  }
+
+  ~CacheTls() {
+    cache.FlushMagazines(PoolAllocator::Instance());
+    CacheRegistry& reg = Caches();
+    LatchGuard guard(reg.latch);
+    auto it = std::find(reg.live.begin(), reg.live.end(), &cache);
+    if (it != reg.live.end()) {
+      *it = reg.live.back();
+      reg.live.pop_back();
+    }
+    reg.retired_allocs += cache.allocs.load(std::memory_order_relaxed);
+    reg.retired_frees += cache.frees.load(std::memory_order_relaxed);
+    tls_cache = nullptr;
+    tls_cache_dead = true;
+  }
+};
+
+// The calling thread's cache, constructed on first use. Returns nullptr once the TLS
+// destructor has run (a thread freeing pool blocks from a later TLS destructor falls
+// back to the shared layer) — the dead flag keeps us from resurrecting the object.
+PoolThreadCache* GetCache() {
+  if (tls_cache != nullptr) [[likely]] {
+    return tls_cache;
+  }
+  if (tls_cache_dead) {
+    return nullptr;
+  }
+  thread_local CacheTls holder;
+  return tls_cache;
+}
+
+}  // namespace
+
+// ---- PoolAllocator ------------------------------------------------------------------
+
 PoolAllocator& PoolAllocator::Instance() {
   static PoolAllocator allocator;
   return allocator;
@@ -60,7 +174,37 @@ std::size_t PoolAllocator::ClassIndexFor(std::size_t size) {
   return index;
 }
 
-void PoolAllocator::RefillClass(SizeClass& size_class) {
+void PoolAllocator::DirectoryInsert(uintptr_t slab, std::size_t class_index) {
+  const uintptr_t packed = slab | static_cast<uintptr_t>(class_index + 1);
+  std::size_t slot = DirectorySlotOf(slab);
+  for (std::size_t probes = 0; probes < kDirectorySlots; ++probes) {
+    uintptr_t expected = 0;
+    if (directory_[slot].compare_exchange_strong(expected, packed, std::memory_order_acq_rel)) {
+      return;
+    }
+    slot = (slot + 1) & (kDirectorySlots - 1);
+  }
+  std::fprintf(stderr, "stacktrack: slab directory full (%zu slabs)\n", kDirectorySlots);
+  std::abort();
+}
+
+std::size_t PoolAllocator::DirectoryLookup(uintptr_t addr) const {
+  const uintptr_t slab = addr & ~(kSlabBytes - 1);
+  std::size_t slot = DirectorySlotOf(slab);
+  for (std::size_t probes = 0; probes < kDirectorySlots; ++probes) {
+    const uintptr_t entry = directory_[slot].load(std::memory_order_acquire);
+    if (entry == 0) {
+      return kClassCount;  // not pool memory
+    }
+    if ((entry & ~(kSlabBytes - 1)) == slab) {
+      return (entry & (kSlabBytes - 1)) - 1;
+    }
+    slot = (slot + 1) & (kDirectorySlots - 1);
+  }
+  return kClassCount;
+}
+
+void PoolAllocator::RefillClass(SizeClass& size_class, std::size_t class_index) {
   // Transient mmap failure (address-space fragmentation, momentary commit pressure)
   // gets a few retries before the process gives up for good.
   char* slab = nullptr;
@@ -75,8 +219,50 @@ void PoolAllocator::RefillClass(SizeClass& size_class) {
     std::abort();
   }
   bytes_mapped_.fetch_add(kSlabBytes, std::memory_order_relaxed);
+  // Publish before any block from this slab can be handed out: a scanner probing an
+  // address inside the slab must find the class mapping (the blocks it resolves are
+  // dead — zero magic — until their first allocation).
+  DirectoryInsert(reinterpret_cast<uintptr_t>(slab), class_index);
   size_class.bump_cursor = slab;
   size_class.bump_limit = slab + kSlabBytes;
+}
+
+std::size_t PoolAllocator::RefillBatch(std::size_t class_index, void** out, std::size_t want) {
+  SizeClass& size_class = classes_[class_index].value;
+  LatchGuard guard(size_class.latch);
+  if (size_class.block_bytes == 0) {
+    size_class.block_bytes = kHeaderBytes + ClassUserBytes(class_index);
+  }
+  std::size_t n = 0;
+  while (n < want && size_class.free_head != nullptr) {
+    BlockHeader* header = static_cast<BlockHeader*>(size_class.free_head);
+    size_class.free_head = header->next_free;
+    --size_class.free_count;
+    out[n++] = reinterpret_cast<char*>(header) + kHeaderBytes;
+  }
+  while (n < want) {
+    if (size_class.bump_cursor == nullptr ||
+        size_class.bump_cursor + size_class.block_bytes > size_class.bump_limit) {
+      RefillClass(size_class, class_index);
+    }
+    BlockHeader* header = reinterpret_cast<BlockHeader*>(size_class.bump_cursor);
+    size_class.bump_cursor += size_class.block_bytes;
+    header->class_index = static_cast<uint32_t>(class_index);
+    // Fresh slab memory is zero-filled: magic stays 0 (dead) until first allocation.
+    out[n++] = reinterpret_cast<char*>(header) + kHeaderBytes;
+  }
+  return n;
+}
+
+void PoolAllocator::FlushBatch(std::size_t class_index, void* const* items, std::size_t count) {
+  SizeClass& size_class = classes_[class_index].value;
+  LatchGuard guard(size_class.latch);
+  for (std::size_t i = 0; i < count; ++i) {
+    BlockHeader* header = HeaderOf(items[i]);
+    header->next_free = size_class.free_head;
+    size_class.free_head = header;
+  }
+  size_class.free_count += count;
 }
 
 void* PoolAllocator::Alloc(std::size_t size) {
@@ -109,47 +295,39 @@ void* PoolAllocator::AllocImpl(std::size_t size) {
     return nullptr;
   }
   const std::size_t index = ClassIndexFor(size);
-  SizeClass& size_class = classes_[index].value;
-  BlockHeader* header = nullptr;
-  {
-    LatchGuard guard(size_class.latch);
-    if (size_class.block_bytes == 0) {
-      size_class.block_bytes = kHeaderBytes + ClassUserBytes(index);
+  void* user;
+  PoolThreadCache* cache = GetCache();
+  if (cache != nullptr) [[likely]] {
+    PoolThreadCache::Magazine& mag = cache->magazines[index];
+    if (mag.count == 0) [[unlikely]] {
+      mag.count = RefillBatch(index, mag.items, kMagazineBatch);
     }
-    if (size_class.free_head != nullptr) {
-      header = static_cast<BlockHeader*>(size_class.free_head);
-      size_class.free_head = header->next_free;
-      --size_class.free_count;
-    } else {
-      if (size_class.bump_cursor == nullptr ||
-          size_class.bump_cursor + size_class.block_bytes > size_class.bump_limit) {
-        RefillClass(size_class);
-      }
-      header = reinterpret_cast<BlockHeader*>(size_class.bump_cursor);
-      size_class.bump_cursor += size_class.block_bytes;
-    }
+    user = mag.items[--mag.count];
+    cache->BumpAllocs();
+  } else {
+    // TLS cache already destroyed (late free/alloc from another TLS destructor):
+    // take one block straight from the shared layer and account it as retired.
+    RefillBatch(index, &user, 1);
+    CacheRegistry& reg = Caches();
+    LatchGuard guard(reg.latch);
+    ++reg.retired_allocs;
   }
-  header->class_index = static_cast<uint32_t>(index);
-  header->magic = kLiveMagic;
+  BlockHeader* header = HeaderOf(user);
   header->next_free = nullptr;
-  void* user = reinterpret_cast<char*>(header) + kHeaderBytes;
-  HeapRegistry::Instance().Insert(reinterpret_cast<uintptr_t>(user), ClassUserBytes(index));
-  live_objects_.fetch_add(1, std::memory_order_relaxed);
-  total_allocs_.fetch_add(1, std::memory_order_relaxed);
+  header->magic.store(kLiveMagic, std::memory_order_release);
   return user;
 }
 
 void PoolAllocator::Free(void* ptr) {
   BlockHeader* header = HeaderOf(ptr);
-  if (header->magic != kLiveMagic) {
+  if (header->magic.load(std::memory_order_relaxed) != kLiveMagic) {
     std::fprintf(stderr, "stacktrack: pool free of invalid or double-freed block %p (magic %x)\n",
-                 ptr, header->magic);
+                 ptr, header->magic.load(std::memory_order_relaxed));
     void* frames[32];
     backtrace_symbols_fd(frames, backtrace(frames, 32), 2);
     std::abort();
   }
   const std::size_t index = header->class_index;
-  HeapRegistry::Instance().Erase(reinterpret_cast<uintptr_t>(ptr));
   // Poison with word-atomic stores, NOT memset: a speculative (zombie) reader racing
   // with the free must observe either the old word or the full poison word. A torn
   // mix could masquerade as an unmarked pointer and send the zombie off the pool
@@ -160,34 +338,88 @@ void PoolAllocator::Free(void* ptr) {
   for (std::size_t w = 0; w < ClassUserBytes(index) / sizeof(uint64_t); ++w) {
     words[w].store(poison_word, std::memory_order_relaxed);
   }
-  header->magic = kFreeMagic;
-  SizeClass& size_class = classes_[index].value;
-  {
-    LatchGuard guard(size_class.latch);
-    header->next_free = size_class.free_head;
-    size_class.free_head = header;
-    ++size_class.free_count;
+  header->magic.store(kFreeMagic, std::memory_order_release);
+  PoolThreadCache* cache = GetCache();
+  if (cache != nullptr) [[likely]] {
+    PoolThreadCache::Magazine& mag = cache->magazines[index];
+    if (mag.count == kMagazineCapacity) [[unlikely]] {
+      // Drain the OLDEST half so the magazine keeps its most recently freed (and
+      // hence cache-warmest) blocks for the next allocations.
+      FlushBatch(index, mag.items, kMagazineBatch);
+      std::memmove(mag.items, mag.items + kMagazineBatch,
+                   (kMagazineCapacity - kMagazineBatch) * sizeof(void*));
+      mag.count -= kMagazineBatch;
+    }
+    mag.items[mag.count++] = ptr;
+    cache->BumpFrees();
+  } else {
+    FlushBatch(index, &ptr, 1);
+    CacheRegistry& reg = Caches();
+    LatchGuard guard(reg.latch);
+    ++reg.retired_frees;
   }
-  live_objects_.fetch_sub(1, std::memory_order_relaxed);
-  total_frees_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PoolAllocator::FlushThreadCache() {
+  if (tls_cache != nullptr) {  // never constructs a cache just to flush it
+    tls_cache->FlushMagazines(*this);
+  }
 }
 
 std::size_t PoolAllocator::UsableSize(const void* ptr) const {
   return ClassUserBytes(HeaderOf(ptr)->class_index);
 }
 
+bool PoolAllocator::ResolvePoolAddress(uintptr_t addr, uintptr_t* base) const {
+  const std::size_t class_index = DirectoryLookup(addr);
+  if (class_index >= kClassCount) {
+    return false;
+  }
+  const uintptr_t slab = addr & ~(kSlabBytes - 1);
+  const std::size_t block_bytes = kHeaderBytes + ClassUserBytes(class_index);
+  const std::size_t offset = addr - slab;
+  const std::size_t block_index = offset / block_bytes;
+  if (block_index >= kSlabBytes / block_bytes) {
+    *base = 0;  // tail remnant too small to hold a block
+    return true;
+  }
+  const uintptr_t block = slab + block_index * block_bytes;
+  const uintptr_t user = block + kHeaderBytes;
+  if (addr < user) {
+    *base = 0;  // inside the block header, not user data
+    return true;
+  }
+  const auto* header = reinterpret_cast<const BlockHeader*>(block);
+  *base = header->magic.load(std::memory_order_acquire) == kLiveMagic ? user : 0;
+  return true;
+}
+
 bool PoolAllocator::OwnsLive(const void* ptr) const {
-  return HeapRegistry::Instance().OwningObject(reinterpret_cast<uintptr_t>(ptr)) ==
-         reinterpret_cast<uintptr_t>(ptr);
+  uintptr_t base = 0;
+  return ResolvePoolAddress(reinterpret_cast<uintptr_t>(ptr), &base) &&
+         base == reinterpret_cast<uintptr_t>(ptr);
 }
 
 PoolStats PoolAllocator::GetStats() const {
   PoolStats stats;
   stats.bytes_mapped = bytes_mapped_.load(std::memory_order_relaxed);
-  stats.live_objects = live_objects_.load(std::memory_order_relaxed);
-  stats.total_allocs = total_allocs_.load(std::memory_order_relaxed);
-  stats.total_frees = total_frees_.load(std::memory_order_relaxed);
   stats.alloc_fault_retries = alloc_fault_retries_.load(std::memory_order_relaxed);
+  uint64_t allocs;
+  uint64_t frees;
+  {
+    CacheRegistry& reg = Caches();
+    LatchGuard guard(reg.latch);
+    allocs = reg.retired_allocs;
+    frees = reg.retired_frees;
+    for (const PoolThreadCache* cache : reg.live) {
+      allocs += cache->allocs.load(std::memory_order_relaxed);
+      frees += cache->frees.load(std::memory_order_relaxed);
+    }
+  }
+  stats.total_allocs = allocs;
+  stats.total_frees = frees;
+  // Mid-run snapshots can momentarily observe a free before its alloc; clamp.
+  stats.live_objects = allocs >= frees ? allocs - frees : 0;
   return stats;
 }
 

@@ -60,9 +60,28 @@ uint32_t ThreadRegistry::RegisterCurrentThread() {
   std::abort();
 }
 
+void ThreadRegistry::AddExitHook(ExitHook hook) {
+  LatchGuard guard(exit_hook_latch_);
+  const uint32_t count = exit_hook_count_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (exit_hooks_[i].load(std::memory_order_relaxed) == hook) {
+      return;  // already installed; keep its original chain position
+    }
+  }
+  if (count >= kMaxExitHooks) {
+    std::fprintf(stderr, "stacktrack: exit-hook chain capacity (%u) exceeded\n", kMaxExitHooks);
+    std::abort();
+  }
+  exit_hooks_[count].store(hook, std::memory_order_relaxed);
+  exit_hook_count_.store(count + 1, std::memory_order_release);
+}
+
 void ThreadRegistry::Deregister(uint32_t tid) {
-  if (const ExitHook hook = exit_hook_.load(std::memory_order_acquire)) {
-    hook(tid);  // on the exiting thread, while tid is still valid
+  // Installation order, on the exiting thread, while tid is still valid. The chain is
+  // append-only, so the acquire-load of the count makes every hook below it visible.
+  const uint32_t hook_count = exit_hook_count_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < hook_count; ++i) {
+    exit_hooks_[i].load(std::memory_order_relaxed)(tid);
   }
   ThreadSlot& s = slots_[tid].value;
   s.stack_lo.store(0, std::memory_order_release);

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/barrier.h"
 #include "runtime/cacheline.h"
 
 namespace stacktrack::runtime {
@@ -31,10 +32,14 @@ struct ThreadSlot {
 class ThreadRegistry {
  public:
   // Runs on the exiting thread inside Deregister, before the slot is released for
-  // reuse. Higher layers install it to reap per-thread reclamation state (an exiting
-  // thread hands its unreclaimed free_set to the global deferred list rather than
-  // stranding it behind a dead thread id).
+  // reuse. Higher layers install hooks to reap per-thread reclamation state: the
+  // free-set handoff (an exiting thread hands its unreclaimed free_set to the global
+  // deferred list rather than stranding it behind a dead thread id) and the pool
+  // allocator's magazine flush both ride this chain.
   using ExitHook = void (*)(uint32_t tid);
+
+  // Fixed capacity of the exit-hook chain; installing more aborts (a hook leak).
+  static constexpr uint32_t kMaxExitHooks = 8;
 
   static ThreadRegistry& Instance();
 
@@ -49,8 +54,11 @@ class ThreadRegistry {
   // may be handed to another thread afterwards.
   void Deregister(uint32_t tid);
 
-  // Installs the exit hook (idempotent; last writer wins).
-  void SetExitHook(ExitHook hook) { exit_hook_.store(hook, std::memory_order_release); }
+  // Appends `hook` to the exit-hook chain unless it is already installed
+  // (idempotent per hook). Hooks run in installation order on every deregistering
+  // thread. Replaces the old single-slot SetExitHook, whose last-writer-wins
+  // semantics silently dropped earlier hooks.
+  void AddExitHook(ExitHook hook);
 
   // Number of currently registered threads (racy snapshot; used by the machine model).
   uint32_t active_count() const { return active_count_.load(std::memory_order_acquire); }
@@ -66,7 +74,11 @@ class ThreadRegistry {
   CacheAligned<ThreadSlot> slots_[kMaxThreads];
   std::atomic<uint32_t> active_count_{0};
   std::atomic<uint32_t> high_watermark_{0};
-  std::atomic<ExitHook> exit_hook_{nullptr};
+  // Exit-hook chain: append-only, so a lock-free reader can walk [0, count) —
+  // every slot below a count it observed was fully published before the count.
+  std::atomic<ExitHook> exit_hooks_[kMaxExitHooks] = {};
+  std::atomic<uint32_t> exit_hook_count_{0};
+  SpinLatch exit_hook_latch_;  // serializes writers only
 };
 
 // Dense id of the calling thread, or kInvalidThreadId when unregistered.

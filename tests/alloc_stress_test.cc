@@ -1,0 +1,174 @@
+// Stress tests for the scalable allocation path: per-thread magazines under
+// cross-thread alloc-here/free-there churn, magazine flushing at thread exit, and
+// type stability of blocks whose allocating thread has died.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/pool_alloc.h"
+#include "runtime/rand.h"
+#include "runtime/thread_registry.h"
+
+namespace stacktrack::runtime {
+namespace {
+
+// A block stamped with its own address so a consumer can detect corruption.
+void Stamp(void* p) {
+  std::memcpy(p, &p, sizeof(p));
+}
+
+bool StampIntact(void* p) {
+  void* stored = nullptr;
+  std::memcpy(&stored, p, sizeof(stored));
+  return stored == p;
+}
+
+// Every thread allocates blocks and hands them to the next thread in the ring, which
+// verifies and frees them — so nearly every free is a cross-thread free landing in a
+// magazine the block's allocator never touched. Accounting must still balance exactly
+// once all threads have exited (their tallies fold into the retired totals and their
+// magazines drain to the shared free lists).
+TEST(AllocStressTest, CrossThreadChurnKeepsExactAccounting) {
+  auto& pool = PoolAllocator::Instance();
+  const auto before = pool.GetStats();
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 3000;
+
+  struct Inbox {
+    std::mutex mutex;
+    std::vector<void*> blocks;
+  };
+  Inbox inboxes[kThreads];
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+
+  auto drain = [&](Inbox& inbox) {
+    std::vector<void*> mine;
+    {
+      std::lock_guard<std::mutex> lock(inbox.mutex);
+      mine.swap(inbox.blocks);
+    }
+    for (void* p : mine) {
+      ASSERT_TRUE(StampIntact(p)) << "block corrupted in flight";
+      ASSERT_TRUE(pool.OwnsLive(p));
+      const std::size_t usable = pool.UsableSize(p);
+      pool.Free(p);
+      // The just-freed block sits on top of this thread's magazine, so no other
+      // thread can recycle it before we look: the poison must be intact.
+      ASSERT_TRUE(PoolAllocator::IsPoisoned(p, usable));
+      ASSERT_FALSE(pool.OwnsLive(p));
+      frees.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadScope scope;  // exit runs the registry hook chain (magazine flush)
+      Xorshift128 rng(0xa110c ^ t);
+      Inbox& next = inboxes[(t + 1) % kThreads];
+      for (int i = 0; i < kItersPerThread; ++i) {
+        void* p = pool.Alloc(32 + rng.NextBounded(200));
+        Stamp(p);
+        allocs.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(next.mutex);
+          next.blocks.push_back(p);
+        }
+        if ((i & 15) == 0) {
+          drain(inboxes[t]);
+        }
+      }
+      drain(inboxes[t]);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (Inbox& inbox : inboxes) {  // stragglers: freed by a thread that never allocated them
+    drain(inbox);
+  }
+
+  EXPECT_EQ(allocs.load(), uint64_t{kThreads} * kItersPerThread);
+  EXPECT_EQ(allocs.load(), frees.load());
+  const auto after = pool.GetStats();
+  EXPECT_EQ(after.total_allocs - before.total_allocs, allocs.load());
+  EXPECT_EQ(after.total_frees - before.total_frees, frees.load());
+  EXPECT_EQ(after.live_objects, before.live_objects);
+}
+
+// A freed block cached in an exiting thread's magazine must return to the shared free
+// list (not strand): after the thread dies the block is still poisoned, reports dead,
+// and is handed out again to a later allocation on another thread.
+TEST(AllocStressTest, ExitingThreadFlushesMagazinesToSharedPool) {
+  auto& pool = PoolAllocator::Instance();
+  const auto before = pool.GetStats();
+  void* parked = nullptr;
+  std::size_t parked_usable = 0;
+
+  std::thread worker([&] {
+    ThreadScope scope;
+    void* p = pool.Alloc(64);
+    Stamp(p);
+    parked_usable = pool.UsableSize(p);
+    pool.Free(p);  // rests in this thread's magazine until the exit-hook flush
+    parked = p;
+  });
+  worker.join();
+
+  ASSERT_NE(parked, nullptr);
+  EXPECT_FALSE(pool.OwnsLive(parked));
+  EXPECT_TRUE(PoolAllocator::IsPoisoned(parked, parked_usable));
+
+  // The block must be allocatable again. The shared free list plus one magazine
+  // refill bound how many allocations can precede it in this binary.
+  std::vector<void*> drained;
+  bool recycled = false;
+  for (int i = 0; i < 4096 && !recycled; ++i) {
+    void* p = pool.Alloc(64);
+    drained.push_back(p);
+    recycled = (p == parked);
+  }
+  EXPECT_TRUE(recycled) << "block stranded in a dead thread's magazine";
+  for (void* p : drained) {
+    pool.Free(p);
+  }
+  pool.FlushThreadCache();
+  EXPECT_EQ(pool.GetStats().live_objects, before.live_objects);
+}
+
+// Blocks still live when their allocating thread dies stay mapped and intact (type
+// stability), and a foreign thread can free them later with exact accounting.
+TEST(AllocStressTest, DeadThreadBlocksRemainTypeStable) {
+  auto& pool = PoolAllocator::Instance();
+  const auto before = pool.GetStats();
+  constexpr int kBlocks = 100;
+  std::vector<void*> blocks(kBlocks, nullptr);
+
+  std::thread worker([&] {
+    ThreadScope scope;
+    for (int i = 0; i < kBlocks; ++i) {
+      blocks[i] = pool.Alloc(128);
+      Stamp(blocks[i]);
+    }
+  });
+  worker.join();
+
+  for (void* p : blocks) {
+    ASSERT_TRUE(pool.OwnsLive(p));
+    ASSERT_TRUE(StampIntact(p)) << "live block mutated by allocator thread exit";
+    pool.Free(p);
+  }
+  const auto after = pool.GetStats();
+  EXPECT_EQ(after.total_allocs - before.total_allocs, uint64_t{kBlocks});
+  EXPECT_EQ(after.total_frees - before.total_frees, uint64_t{kBlocks});
+  EXPECT_EQ(after.live_objects, before.live_objects);
+}
+
+}  // namespace
+}  // namespace stacktrack::runtime

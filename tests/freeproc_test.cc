@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -101,7 +102,14 @@ TEST_F(FreeProcTest, RefSetTombstoneRemovesEntry) {
 }
 
 TEST_F(FreeProcTest, CompletedOperationShortCircuitsToDead) {
-  StContext& reclaimer = domain_.AcquireHandle();
+  // The scanner must stay parked on the odd seqlock until the completer's bump. The
+  // default retry cap can expire first on a loaded or single-CPU machine, turning the
+  // expected "dead" into a conservative "live" — so make the budget effectively
+  // unbounded and let the oper_counter change be the only exit.
+  StConfig config;
+  config.inspect_retry_cap = UINT32_MAX;
+  smr::StackTrackSmr::Domain domain(config);
+  StContext& reclaimer = domain.AcquireHandle();
   StContext target(kFakeTid, StConfig{});
   TrackedFrame<2> frame(target);
   void* node = runtime::PoolAllocator::Instance().Alloc(64);

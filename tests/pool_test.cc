@@ -136,7 +136,7 @@ TEST(PoolTest, ConcurrentAllocFreeKeepsAccounting) {
 TEST(HeapRegistryTest, ExactAndInteriorLookup) {
   auto& registry = HeapRegistry::Instance();
   auto& pool = PoolAllocator::Instance();
-  void* p = pool.Alloc(100);  // Alloc registers the range
+  void* p = pool.Alloc(100);  // pool memory: resolved via the slab directory
   const uintptr_t base = reinterpret_cast<uintptr_t>(p);
   const std::size_t usable = pool.UsableSize(p);
   EXPECT_EQ(registry.OwningObject(base), base);
@@ -145,7 +145,43 @@ TEST(HeapRegistryTest, ExactAndInteriorLookup) {
   EXPECT_EQ(registry.OwningObject(base + usable), 0u);  // one past the end
   EXPECT_TRUE(registry.SameObject(base, base + 50));
   pool.Free(p);
-  EXPECT_EQ(registry.OwningObject(base + 1), 0u);  // erased on free
+  EXPECT_EQ(registry.OwningObject(base + 1), 0u);  // dead magic after free
+}
+
+TEST(HeapRegistryTest, SlabDirectoryAgreesWithForeignMapOnPoolRanges) {
+  auto& registry = HeapRegistry::Instance();
+  auto& pool = PoolAllocator::Instance();
+  // Mirror live pool blocks into the foreign map, then walk every byte: the latch-free
+  // slab-directory path (OwningObject) and the latched map path (OwningForeign) must
+  // resolve exact, interior, header, and one-past-the-end addresses identically.
+  std::vector<void*> blocks;
+  for (std::size_t size : {24u, 64u, 200u, 1024u, 4000u}) {
+    for (int i = 0; i < 3; ++i) {
+      blocks.push_back(pool.Alloc(size));
+    }
+  }
+  for (void* p : blocks) {
+    registry.Insert(reinterpret_cast<uintptr_t>(p), pool.UsableSize(p));
+  }
+  for (void* p : blocks) {
+    const uintptr_t base = reinterpret_cast<uintptr_t>(p);
+    const std::size_t usable = pool.UsableSize(p);
+    for (std::size_t off = 0; off < usable; ++off) {
+      ASSERT_EQ(registry.OwningObject(base + off), base) << "directory, offset " << off;
+      ASSERT_EQ(registry.OwningForeign(base + off), base) << "map, offset " << off;
+    }
+    // The byte before the user base sits in this block's header: dead space to both.
+    EXPECT_EQ(registry.OwningObject(base - 1), 0u);
+    EXPECT_EQ(registry.OwningForeign(base - 1), 0u);
+    // One past the end must not round back into this block on either path.
+    EXPECT_NE(registry.OwningObject(base + usable), base);
+    EXPECT_NE(registry.OwningForeign(base + usable), base);
+  }
+  for (void* p : blocks) {
+    registry.Erase(reinterpret_cast<uintptr_t>(p));
+    pool.Free(p);
+    EXPECT_EQ(registry.OwningObject(reinterpret_cast<uintptr_t>(p) + 1), 0u);
+  }
 }
 
 TEST(HeapRegistryTest, ManualRanges) {
