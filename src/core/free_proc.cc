@@ -4,12 +4,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
-#include "htm/htm.h"
+#include "core/reclaim_engine.h"
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
-#include "runtime/pool_alloc.h"
 
 namespace stacktrack::core {
 
@@ -48,8 +46,8 @@ std::size_t DeferredFreeList::PopBatch(void** out, std::size_t max) {
 
 namespace {
 
-// Watchdog bookkeeping shared by all reclaimers. Each ScanAndFree counts as one
-// round; a thread that is mid-operation (op_active set) with an unchanged
+// Watchdog bookkeeping shared by all reclaimers. Each reclamation round counts as one
+// tick; a thread that is mid-operation (op_active set) with an unchanged
 // oper_counter for watchdog_rounds consecutive rounds is flagged as stalled.
 // oper_counter alone cannot distinguish "stalled" from "idle", hence op_active.
 struct Watchdog {
@@ -63,83 +61,6 @@ struct Watchdog {
 Watchdog& TheWatchdog() {
   static Watchdog wd;
   return wd;
-}
-
-void WatchdogTick(StContext& reclaimer) {
-  Watchdog& wd = TheWatchdog();
-  if (!wd.latch.TryLock()) {
-    return;  // another reclaimer is ticking; rounds are global, not per thread
-  }
-  const uint64_t round = ++wd.round;
-  const uint64_t threshold = reclaimer.config().watchdog_rounds;
-  uint64_t mask = wd.stalled_mask.load(std::memory_order_relaxed);
-  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
-  for (uint32_t tid = 0; tid < watermark && tid < runtime::kMaxThreads; ++tid) {
-    const uint64_t bit = uint64_t{1} << tid;
-    StContext* target = ActivityArray::Instance().Get(tid);
-    if (target == nullptr) {
-      mask &= ~bit;
-      wd.last_progress_round[tid] = round;
-      continue;
-    }
-    const uint64_t oper = target->oper_counter.load(std::memory_order_acquire);
-    const bool mid_op = target->op_active.load(std::memory_order_acquire) != 0;
-    if (oper != wd.last_oper[tid] || !mid_op) {
-      wd.last_oper[tid] = oper;
-      wd.last_progress_round[tid] = round;
-      mask &= ~bit;
-    } else if ((mask & bit) == 0 && round - wd.last_progress_round[tid] >= threshold) {
-      mask |= bit;
-      ++reclaimer.stats.watchdog_reports;
-    }
-  }
-  wd.stalled_mask.store(mask, std::memory_order_release);
-  wd.latch.Unlock();
-}
-
-// Pulls a batch of previously spilled / handed-off candidates into the reclaimer's
-// free set so they go through the normal liveness scan. Skipped while the local set
-// is already at or above the scan trigger — adopting then would only deepen the
-// backlog the spill was relieving.
-void AdoptDeferred(StContext& reclaimer) {
-  std::vector<void*>& free_set = reclaimer.MutableFreeSet();
-  const uint32_t max_free = reclaimer.config().max_free;
-  if (free_set.size() >= max_free) {
-    return;
-  }
-  void* batch[64];
-  const std::size_t want =
-      std::min<std::size_t>(64, max_free - static_cast<uint32_t>(free_set.size()));
-  const std::size_t n = DeferredFreeList::Instance().PopBatch(batch, want);
-  if (n == 0) {
-    return;
-  }
-  free_set.insert(free_set.end(), batch, batch + n);
-  reclaimer.stats.deferred_adopted += n;
-  reclaimer.NoteFreeSetSize();
-}
-
-// Post-scan back-pressure: when survivors exceed the high-water mark (threads
-// repeatedly answering "live", e.g. one of them is stalled mid-exposure), spill the
-// tail beyond max_free to the global deferred list and raise the scan trigger so the
-// owner stops paying for futile rescans. Decays back once the backlog drains.
-void ApplyBackPressure(StContext& reclaimer) {
-  std::vector<void*>& free_set = reclaimer.MutableFreeSet();
-  const uint32_t max_free = reclaimer.config().max_free;
-  if (free_set.size() > reclaimer.high_water()) {
-    const std::size_t excess = free_set.size() - max_free;
-    const std::size_t accepted =
-        DeferredFreeList::Instance().Push(free_set.data() + max_free, excess);
-    if (accepted != 0) {
-      free_set.erase(free_set.begin() + max_free,
-                     free_set.begin() + static_cast<std::ptrdiff_t>(max_free + accepted));
-      reclaimer.stats.backpressure_spills += accepted;
-    }
-    reclaimer.RaiseScanThreshold();
-  } else if (free_set.size() <= max_free) {
-    reclaimer.DecayScanThreshold();
-  }
-  reclaimer.NoteFreeSetSize();
 }
 
 // One unsynchronized pass over the target's exposed registers and tracked frames.
@@ -181,6 +102,38 @@ bool ScanRootsOnce(StContext& reclaimer, const StContext& target, uintptr_t base
 }
 
 }  // namespace
+
+void WatchdogTick(StContext& reclaimer) {
+  Watchdog& wd = TheWatchdog();
+  if (!wd.latch.TryLock()) {
+    return;  // another reclaimer is ticking; rounds are global, not per thread
+  }
+  const uint64_t round = ++wd.round;
+  const uint64_t threshold = reclaimer.config().watchdog_rounds;
+  uint64_t mask = wd.stalled_mask.load(std::memory_order_relaxed);
+  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+  for (uint32_t tid = 0; tid < watermark && tid < runtime::kMaxThreads; ++tid) {
+    const uint64_t bit = uint64_t{1} << tid;
+    StContext* target = ActivityArray::Instance().Get(tid);
+    if (target == nullptr) {
+      mask &= ~bit;
+      wd.last_progress_round[tid] = round;
+      continue;
+    }
+    const uint64_t oper = target->oper_counter.load(std::memory_order_acquire);
+    const bool mid_op = target->op_active.load(std::memory_order_acquire) != 0;
+    if (oper != wd.last_oper[tid] || !mid_op) {
+      wd.last_oper[tid] = oper;
+      wd.last_progress_round[tid] = round;
+      mask &= ~bit;
+    } else if ((mask & bit) == 0 && round - wd.last_progress_round[tid] >= threshold) {
+      mask |= bit;
+      ++reclaimer.stats.watchdog_reports;
+    }
+  }
+  wd.stalled_mask.store(mask, std::memory_order_release);
+  wd.latch.Unlock();
+}
 
 bool InspectThread(StContext& reclaimer, StContext& target, uintptr_t base,
                    std::size_t length, bool check_refset) {
@@ -245,7 +198,7 @@ bool CandidateIsLive(StContext& reclaimer, uintptr_t base, std::size_t length) {
   for (uint32_t tid = 0; tid < watermark; ++tid) {
     StContext* target = ActivityArray::Instance().Get(tid);
     if (target == nullptr || target == &reclaimer) {
-      // Skip self: ScanAndFree runs after the reclaimer's final segment committed, so
+      // Skip self: a scan runs after the reclaimer's final segment committed, so
       // roots still sitting in its own frames are dead by contract.
       continue;
     }
@@ -258,191 +211,11 @@ bool CandidateIsLive(StContext& reclaimer, uintptr_t base, std::size_t length) {
 }
 
 void ScanAndFree(StContext& reclaimer) {
-  ++reclaimer.stats.scan_calls;
-  auto& pool = runtime::PoolAllocator::Instance();
-  std::vector<void*>* free_set = nullptr;
-  {
-    // Work directly on the reclaimer's buffer: ScanAndFree only runs on the owning
-    // thread (from OpEnd / Free / FlushFrees), never concurrently with itself.
-    free_set = &reclaimer.MutableFreeSet();
-  }
-  AdoptDeferred(reclaimer);
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < free_set->size(); ++i) {
-    void* ptr = (*free_set)[i];
-    if (!pool.OwnsLive(ptr)) {
-      // Defensive: the block was already reclaimed through another path (see the
-      // known-issue note in DESIGN.md §5); dropping it keeps frees idempotent.
-      ++reclaimer.stats.stale_free_drops;
-      continue;
-    }
-    const std::size_t length = pool.UsableSize(ptr);
-    if (CandidateIsLive(reclaimer, reinterpret_cast<uintptr_t>(ptr), length)) {
-      (*free_set)[kept++] = ptr;  // still referenced; retry next scan
-      continue;
-    }
-    // Make any in-flight transactional reader of this range abort before its memory
-    // is poisoned and recycled, then hand it back to the pool (HEAP_FREE).
-    htm::QuarantineRange(ptr, length);
-    pool.Free(ptr);
-    ++reclaimer.stats.frees;
-  }
-  free_set->resize(kept);
-  ApplyBackPressure(reclaimer);
-  WatchdogTick(reclaimer);
+  ReclaimEngine::Run(reclaimer, ScanMode::kPerCandidate);
 }
-
-namespace {
-
-// Collects one thread's roots (exposed registers + tracked frame words + reference-set
-// entries when requested) into `words`, under the splits/oper consistency protocol.
-// Returns false when the thread's operation completed mid-collection (its roots are
-// dead and nothing is appended). Unlike InspectThread there is no per-candidate
-// conservative answer here — a root table missing one thread would approve frees that
-// thread still blocks — so on retry exhaustion (or an overflowed reference set, which
-// cannot be enumerated) `*complete` is cleared and the caller must skip ALL frees
-// this round.
-bool CollectThreadRoots(StContext& reclaimer, const StContext& target, bool check_refset,
-                        std::vector<uintptr_t>& words, bool* complete) {
-  ++reclaimer.stats.scan_thread_inspects;
-  if (check_refset && target.ref_set.overflowed()) {
-    *complete = false;
-    return false;
-  }
-  const uint32_t retry_cap = reclaimer.config().inspect_retry_cap;
-  runtime::ExponentialBackoff backoff(16, 4096);
-  uint32_t retries = 0;
-  // As in ScanRootsOnce, scan_words accumulates locally (across retries too, like
-  // the old per-word counter did) and is flushed once per exit path.
-  uint64_t scanned = 0;
-  const uint64_t oper_pre = target.oper_counter.load(std::memory_order_acquire);
-  while (true) {
-    const std::size_t mark = words.size();
-    const uint64_t seq_pre = target.splits_seq.load(std::memory_order_acquire);
-    if ((seq_pre & 1) != 0) {
-      ++reclaimer.stats.scan_restarts;
-      if (++retries > retry_cap) {
-        ++reclaimer.stats.scan_retry_capped;
-        *complete = false;
-        reclaimer.stats.scan_words += scanned;
-        return false;
-      }
-      backoff.Pause();
-      sched_yield();
-      if (target.oper_counter.load(std::memory_order_acquire) != oper_pre) {
-        reclaimer.stats.scan_words += scanned;
-        return false;
-      }
-      continue;
-    }
-    runtime::fault::MaybeStall(runtime::fault::Site::kInspectStall);
-    for (uint32_t i = 0; i < kRegisterSlots; ++i) {
-      const uintptr_t word = target.exposed_regs[i].load(std::memory_order_acquire);
-      ++scanned;
-      if (word != 0) {
-        words.push_back(word);
-      }
-    }
-    const uint32_t frames = target.frame_count.load(std::memory_order_acquire);
-    for (uint32_t f = 0; f < frames && f < kMaxFrames; ++f) {
-      const uintptr_t lo = target.frames[f].lo.load(std::memory_order_acquire);
-      const uintptr_t hi = target.frames[f].hi.load(std::memory_order_acquire);
-      if (lo == 0 || hi <= lo) {
-        continue;
-      }
-      for (uintptr_t addr = lo; addr + sizeof(uintptr_t) <= hi; addr += sizeof(uintptr_t)) {
-        const uintptr_t word =
-            reinterpret_cast<const std::atomic<uintptr_t>*>(addr)->load(
-                std::memory_order_acquire);
-        ++scanned;
-        if (word != 0) {
-          words.push_back(word);
-        }
-      }
-    }
-    if (check_refset) {
-      const uint32_t used = target.ref_set.size();
-      for (uint32_t i = 0; i < used; ++i) {
-        const uintptr_t word = target.ref_set.slot(i);
-        if (word != 0) {
-          words.push_back(word);
-        }
-      }
-    }
-    const uint64_t seq_post = target.splits_seq.load(std::memory_order_acquire);
-    const uint64_t oper_post = target.oper_counter.load(std::memory_order_acquire);
-    if (oper_pre != oper_post) {
-      words.resize(mark);
-      reclaimer.stats.scan_words += scanned;
-      return false;
-    }
-    if (seq_pre != seq_post ||
-        runtime::fault::ShouldFire(runtime::fault::Site::kSplitsBump)) {
-      words.resize(mark);
-      ++reclaimer.stats.scan_restarts;
-      if (++retries > retry_cap) {
-        ++reclaimer.stats.scan_retry_capped;
-        *complete = false;
-        reclaimer.stats.scan_words += scanned;
-        return false;
-      }
-      backoff.Pause();
-      continue;
-    }
-    reclaimer.stats.scan_words += scanned;
-    return true;
-  }
-}
-
-}  // namespace
 
 void ScanAndFreeHashed(StContext& reclaimer) {
-  ++reclaimer.stats.scan_calls;
-  auto& pool = runtime::PoolAllocator::Instance();
-  std::vector<void*>& free_set = reclaimer.MutableFreeSet();
-  AdoptDeferred(reclaimer);
-
-  // Phase 1: one consistent sweep of every thread's roots into a sorted table.
-  const bool check_refsets = reclaimer.config().scan_refsets_always ||
-                             GlobalSlowPathCount().load(std::memory_order_acquire) != 0;
-  std::vector<uintptr_t> roots;
-  roots.reserve(256);
-  bool complete = true;
-  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
-  for (uint32_t tid = 0; tid < watermark; ++tid) {
-    StContext* target = ActivityArray::Instance().Get(tid);
-    if (target == nullptr || target == &reclaimer) {
-      continue;
-    }
-    CollectThreadRoots(reclaimer, *target, check_refsets, roots, &complete);
-  }
-  std::sort(roots.begin(), roots.end());
-
-  // Phase 2: each candidate is a binary range probe instead of a full rescan. A table
-  // missing any thread's roots (retry cap, overflowed refset) cannot prove deadness,
-  // so an incomplete round only drops stale entries and frees nothing.
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < free_set.size(); ++i) {
-    void* ptr = free_set[i];
-    if (!pool.OwnsLive(ptr)) {
-      ++reclaimer.stats.stale_free_drops;
-      continue;
-    }
-    const uintptr_t base = reinterpret_cast<uintptr_t>(ptr);
-    const std::size_t length = pool.UsableSize(ptr);
-    auto it = std::lower_bound(roots.begin(), roots.end(), base);
-    if (!complete || (it != roots.end() && *it - base < length)) {
-      ++reclaimer.stats.scan_hits;
-      free_set[kept++] = ptr;  // a root points into the candidate; keep it
-      continue;
-    }
-    htm::QuarantineRange(ptr, length);
-    pool.Free(ptr);
-    ++reclaimer.stats.frees;
-  }
-  free_set.resize(kept);
-  ApplyBackPressure(reclaimer);
-  WatchdogTick(reclaimer);
+  ReclaimEngine::Run(reclaimer, ScanMode::kSnapshot);
 }
 
 uint64_t StalledThreadMask() {

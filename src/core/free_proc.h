@@ -49,13 +49,19 @@ class DeferredFreeList {
 
 // Bit `tid` is set while the watchdog considers that thread stalled: mid-operation
 // with no oper_counter progress across >= StConfig::watchdog_rounds scans. Bits clear
-// when the thread advances. Updated opportunistically by ScanAndFree.
+// when the thread advances. Updated opportunistically by every reclamation round.
 uint64_t StalledThreadMask();
+
+// One global watchdog round: walks registered threads and updates StalledThreadMask.
+// Runs as the final stage of every ReclaimEngine round; a tick that loses the
+// watchdog latch is skipped (rounds are global, not per thread).
+void WatchdogTick(StContext& reclaimer);
 
 // Scans every registered thread's roots for references into the reclaimer's free set
 // and returns the memory of unreferenced candidates to the pool (after quarantining the
 // range so in-flight transactional readers abort). Survivors stay buffered for the
 // next call. Runs non-transactionally; multiple reclaimers may scan concurrently.
+// Forwards to ReclaimEngine::Run(kPerCandidate) — see core/reclaim_engine.h.
 void ScanAndFree(StContext& reclaimer);
 
 // One candidate inspection across all threads: true when some thread (other than the
@@ -72,7 +78,8 @@ bool InspectThread(StContext& reclaimer, StContext& target, uintptr_t base,
 // collect all root words once (per-thread, under the same splits/oper consistency
 // protocol) into a sorted table, then answer each candidate with a range probe —
 // average O(1) work per freed pointer. Enabled with StConfig::hashed_scan; ablated by
-// bench/ablation_scan.
+// bench/ablation_scan. Forwards to ReclaimEngine::Run(kSnapshot), which may reuse a
+// validated snapshot published by a concurrent reclaimer — see core/reclaim_engine.h.
 void ScanAndFreeHashed(StContext& reclaimer);
 
 }  // namespace stacktrack::core

@@ -49,6 +49,11 @@ struct Stats {
   uint64_t refset_overflows = 0;     // sticky RefSet overflows (conservative mode)
   uint64_t watchdog_reports = 0;     // threads newly flagged as stalled mid-operation
   uint64_t free_set_peak = 0;        // per-thread max free_set size (sums as a bound)
+  // Root-snapshot service (shared hashed-scan root tables, core/reclaim_engine.h).
+  uint64_t snapshot_publishes = 0;   // complete collections published for reuse
+  uint64_t snapshot_reuses = 0;      // scans answered by a validated published table
+  uint64_t snapshot_stale = 0;       // reuse attempts rejected by the generation check
+  uint64_t snapshot_incomplete = 0;  // collections that could not prove completeness
 
   Stats& operator+=(const Stats& other) {
     const uint64_t* src = reinterpret_cast<const uint64_t*>(&other);

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/free_proc.h"
+#include "core/reclaim_engine.h"
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
 
@@ -114,38 +115,7 @@ void StContext::DecayScanThreshold() {
   }
 }
 
-void StContext::HandOffFreeSet() {
-  // Drain the global deferred list as well as the local set: during domain teardown
-  // the last-destroyed context is the only reclaimer left, and with an empty local
-  // set FlushFrees alone would never scan, stranding deferred candidates forever.
-  // Each pass adopts a batch and rescans; stop when the list is empty or no longer
-  // shrinking (survivors ping-pong back via back-pressure when a thread is stalled).
-  auto& deferred = DeferredFreeList::Instance();
-  std::size_t deferred_prev = static_cast<std::size_t>(-1);
-  while (true) {
-    FlushFrees();
-    const std::size_t remaining = deferred.Size();
-    if (remaining == 0 || remaining >= deferred_prev) {
-      break;
-    }
-    deferred_prev = remaining;
-    void* batch[64];
-    const std::size_t n = deferred.PopBatch(batch, 64);
-    free_set_.insert(free_set_.end(), batch, batch + n);
-    stats.deferred_adopted += n;
-  }
-  if (free_set_.empty()) {
-    return;
-  }
-  const std::size_t accepted =
-      DeferredFreeList::Instance().Push(free_set_.data(), free_set_.size());
-  if (accepted > 0) {
-    // Push consumed a prefix; shift the (rare) unaccepted tail down. Whatever the
-    // bounded deferred list cannot take is leaked, exactly as before.
-    free_set_.erase(free_set_.begin(), free_set_.begin() + accepted);
-    stats.exit_handoffs += accepted;
-  }
-}
+void StContext::HandOffFreeSet() { ReclaimEngine::DrainOnExit(*this); }
 
 StContext::PredictorCell& StContext::CurrentCell() {
   PredictorCell& cell = predictor_[op_id_][segment_index_];
@@ -351,11 +321,8 @@ void StContext::OpEnd() {
 
   NoteFreeSetSize();
   if (free_set_.size() >= scan_threshold_) {
-    if (config_.hashed_scan) {
-      ScanAndFreeHashed(*this);
-    } else {
-      ScanAndFree(*this);
-    }
+    ReclaimEngine::Run(*this, config_.hashed_scan ? ScanMode::kSnapshot
+                                                  : ScanMode::kPerCandidate);
   }
 }
 
@@ -366,23 +333,19 @@ void StContext::Free(void* ptr) {
   ++stats.retires;
   NoteFreeSetSize();
   if (free_set_.size() >= scan_threshold_) {
-    if (config_.hashed_scan) {
-      ScanAndFreeHashed(*this);
-    } else {
-      ScanAndFree(*this);
-    }
+    ReclaimEngine::Run(*this, config_.hashed_scan ? ScanMode::kSnapshot
+                                                  : ScanMode::kPerCandidate);
   }
 }
 
 std::size_t StContext::FlushFrees() {
+  // Drains demand fresh verdicts: the caller may have just cleared raw frame words,
+  // which no generation check can see (see the reclaim-engine header note).
   std::size_t previous = free_set_.size() + 1;
   while (!free_set_.empty() && free_set_.size() < previous) {
     previous = free_set_.size();
-    if (config_.hashed_scan) {
-      ScanAndFreeHashed(*this);
-    } else {
-      ScanAndFree(*this);
-    }
+    ReclaimEngine::Run(*this, config_.hashed_scan ? ScanMode::kSnapshotFresh
+                                                  : ScanMode::kPerCandidate);
   }
   return free_set_.size();
 }

@@ -354,12 +354,21 @@ class ActivityArray {
 
   void Set(uint32_t tid, StContext* ctx) {
     slots_[tid].store(ctx, std::memory_order_release);
+    // Any registration change invalidates published root snapshots: a context
+    // recreated at a recycled address can otherwise present the generation counters
+    // of its predecessor (both freshly zero) while holding entirely different roots.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   StContext* Get(uint32_t tid) const { return slots_[tid].load(std::memory_order_acquire); }
+
+  // Bumped on every Set(); snapshot validation (core/reclaim_engine.cc) requires it
+  // unchanged since collection.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
  private:
   ActivityArray() = default;
   std::atomic<StContext*> slots_[runtime::kMaxThreads] = {};
+  std::atomic<uint64_t> epoch_{0};
 };
 
 // Number of threads currently executing slow-path segments; scanners consult reference

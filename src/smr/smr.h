@@ -75,24 +75,14 @@ class PlainRegs {
 }  // namespace stacktrack::smr
 
 // Arms/starts the next StackTrack segment; expands to nothing at runtime for
-// non-splitting schemes (the branch is constant-false and compiled out).
-#define SMR_SEGMENT_ARM(h_)                                                   \
-  do {                                                                        \
-    if constexpr (std::decay_t<decltype(h_)>::kSplits) {                      \
-      while (true) {                                                          \
-        if ((h_).PrepareSegment()) {                                          \
-          const int smr_rc_ = ST_HTM_BEGIN_POINT();                           \
-          if (smr_rc_ == ::stacktrack::htm::kTxStarted) {                     \
-            (h_).SegmentStarted();                                            \
-            break;                                                            \
-          }                                                                   \
-          (h_).SegmentAborted(smr_rc_);                                       \
-        } else {                                                              \
-          (h_).SlowSegmentStarted();                                          \
-          break;                                                              \
-        }                                                                     \
-      }                                                                       \
-    }                                                                         \
+// non-splitting schemes (the branch is constant-false and compiled out). The arm
+// protocol body itself is defined once, in core/split_engine.h — this wrapper only
+// adds the compile-time scheme gate.
+#define SMR_SEGMENT_ARM(h_)                              \
+  do {                                                   \
+    if constexpr (std::decay_t<decltype(h_)>::kSplits) { \
+      ST_SEGMENT_ARM(h_);                                \
+    }                                                    \
   } while (0)
 
 #define SMR_OP_BEGIN(h_, op_id_) \

@@ -1,0 +1,282 @@
+// Tests for the staged reclamation pipeline and the shared root-snapshot service
+// (core/reclaim_engine.h): publication and cross-reclaimer reuse, generation
+// invalidation (splits/oper movement, refset growth), the incomplete-table rule
+// (retry cap via injected phantom splits bumps, odd-seq stalls, refset overflow =>
+// the round frees nothing and nothing is published), self-root exclusion in shared
+// tables, and the fresh-only drain paths.
+//
+// The snapshot service and the deferred list are process-global, so counters that
+// can be perturbed by earlier tests in this binary (snapshot_stale in particular:
+// every context construction bumps the registration epoch and invalidates whatever
+// an earlier test published) are asserted as deltas, never absolutes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/free_proc.h"
+#include "core/reclaim_engine.h"
+#include "runtime/fault.h"
+#include "runtime/pool_alloc.h"
+#include "runtime/thread_registry.h"
+
+namespace stacktrack::core {
+namespace {
+
+using runtime::fault::Site;
+namespace fault = runtime::fault;
+
+class ReclaimEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::DisarmAll(); }
+  void TearDown() override {
+    fault::DisarmAll();
+    // Every scenario must end fully reclaimed: residue in the global deferred list
+    // would bleed into later tests' pool accounting.
+    EXPECT_EQ(DeferredFreeList::Instance().Size(), 0u);
+  }
+
+  static StConfig HashedConfig() {
+    StConfig config;
+    config.hashed_scan = true;
+    return config;
+  }
+
+  runtime::ThreadScope scope_;
+};
+
+// Claims a registry slot (below the watermark, so collections visit it) for the
+// lifetime of one synthetic context. Declared before the context it backs: the
+// context is destroyed first, then the slot is released.
+struct SlotClaim {
+  SlotClaim() : tid(runtime::ThreadRegistry::Instance().RegisterCurrentThread()) {}
+  ~SlotClaim() { runtime::ThreadRegistry::Instance().Deregister(tid); }
+  const uint32_t tid;
+};
+
+// One reclaimer's complete round publishes the root table; a second reclaimer's
+// round revalidates the generation and reuses it — and verdicts from the reused
+// table are real: dead candidates are freed, pinned ones are kept.
+TEST_F(ReclaimEngineTest, PublishedSnapshotIsReusedByOtherReclaimers) {
+  SlotClaim a_slot, b_slot, victim_slot;
+  StContext a(a_slot.tid, HashedConfig());
+  StContext b(b_slot.tid, HashedConfig());
+  StContext victim(victim_slot.tid, HashedConfig());
+  TrackedFrame<2> frame(victim);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* pinned = pool.Alloc(64);
+  void* dead_a = pool.Alloc(64);
+  void* dead_b = pool.Alloc(64);
+  frame.words[0] = reinterpret_cast<uintptr_t>(pinned);
+
+  a.MutableFreeSet() = {dead_a};
+  ScanAndFreeHashed(a);  // complete round: collects and publishes
+  EXPECT_EQ(a.stats.snapshot_publishes, 1u);
+  EXPECT_FALSE(pool.OwnsLive(dead_a));
+
+  b.MutableFreeSet() = {pinned, dead_b};
+  ScanAndFreeHashed(b);  // same generation: reuses a's table instead of collecting
+  EXPECT_EQ(b.stats.snapshot_reuses, 1u);
+  EXPECT_EQ(b.stats.snapshot_publishes, 0u);
+  EXPECT_TRUE(pool.OwnsLive(pinned)) << "reused table must still block pinned nodes";
+  EXPECT_FALSE(pool.OwnsLive(dead_b)) << "reused table must still free dead nodes";
+
+  frame.words[0] = 0;
+  EXPECT_EQ(b.FlushFrees(), 0u);
+  EXPECT_FALSE(pool.OwnsLive(pinned));
+}
+
+// A reclaimer never consumes its own publication, even though it would validate
+// (nothing moves between back-to-back scans): tracked-frame words can change without
+// any generation movement, so repeated scans by one thread must re-observe the roots.
+TEST_F(ReclaimEngineTest, OwnPublicationIsNeverReused) {
+  SlotClaim a_slot;
+  StContext a(a_slot.tid, HashedConfig());
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* dead_1 = pool.Alloc(64);
+  void* dead_2 = pool.Alloc(64);
+
+  a.MutableFreeSet() = {dead_1};
+  ScanAndFreeHashed(a);
+  a.MutableFreeSet() = {dead_2};
+  ScanAndFreeHashed(a);
+  EXPECT_EQ(a.stats.snapshot_reuses, 0u);
+  EXPECT_EQ(a.stats.snapshot_publishes, 2u);
+  EXPECT_FALSE(pool.OwnsLive(dead_1));
+  EXPECT_FALSE(pool.OwnsLive(dead_2));
+}
+
+// Each generation movement a thread can make — a segment commit (splits_seq), an
+// operation completion (oper_counter), a slow-path read (refset growth) — must
+// invalidate the published table, and the stale table must never approve a free:
+// a node pinned after publication survives the next reclaimer's round.
+TEST_F(ReclaimEngineTest, GenerationMovementInvalidatesSnapshotAndNeverApprovesFree) {
+  StConfig config = HashedConfig();
+  config.scan_refsets_always = true;  // refset sizes join the generation vector
+  SlotClaim a_slot, b_slot, victim_slot;
+  StContext a(a_slot.tid, config);
+  StContext b(b_slot.tid, config);
+  StContext victim(victim_slot.tid, config);
+  TrackedFrame<2> frame(victim);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* node = pool.Alloc(64);
+
+  // splits_seq moved: the victim "commits a segment" that exposes a new pin between
+  // a's publication and b's scan.
+  a.MutableFreeSet() = {pool.Alloc(64)};
+  ScanAndFreeHashed(a);  // publishes a table that records no pin on `node`
+  frame.words[0] = reinterpret_cast<uintptr_t>(node);
+  victim.splits_seq.fetch_add(2, std::memory_order_release);
+  const uint64_t b_stale_0 = b.stats.snapshot_stale;
+  b.MutableFreeSet() = {node};
+  ScanAndFreeHashed(b);
+  EXPECT_EQ(b.stats.snapshot_stale, b_stale_0 + 1);
+  EXPECT_EQ(b.stats.snapshot_reuses, 0u);
+  EXPECT_TRUE(pool.OwnsLive(node)) << "stale table approved a free";
+
+  // oper_counter moved: same shape; the current publication is b's, validated by a.
+  victim.oper_counter.fetch_add(1, std::memory_order_release);
+  const uint64_t a_stale_0 = a.stats.snapshot_stale;
+  a.MutableFreeSet() = {pool.Alloc(64)};
+  ScanAndFreeHashed(a);
+  EXPECT_EQ(a.stats.snapshot_stale, a_stale_0 + 1);
+
+  // Refset grew without any splits movement: the recorded size no longer matches.
+  victim.ref_set.Add(0x1000);
+  const uint64_t b_stale_1 = b.stats.snapshot_stale;
+  b.MutableFreeSet() = {pool.Alloc(64)};
+  ScanAndFreeHashed(b);
+  EXPECT_EQ(b.stats.snapshot_stale, b_stale_1 + 1);
+  victim.ref_set.Clear();
+
+  frame.words[0] = 0;
+  b.MutableFreeSet() = {node};
+  EXPECT_EQ(b.FlushFrees(), 0u);
+  EXPECT_FALSE(pool.OwnsLive(node));
+}
+
+// Phantom splits bumps (the kSplitsBump injection firing on every consistency check)
+// exhaust the collection retry cap: the table is incomplete, the round must free
+// NOTHING — not even completely unreferenced candidates — and nothing is published.
+TEST_F(ReclaimEngineTest, RetryCappedCollectionFreesNothingAndPublishesNothing) {
+  StConfig config = HashedConfig();
+  config.inspect_retry_cap = 4;
+  SlotClaim a_slot, victim_slot;
+  StContext a(a_slot.tid, config);
+  StContext victim(victim_slot.tid, config);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* dead = pool.Alloc(64);
+
+  const uint64_t version_before = RootSnapshotService::Instance().published_version();
+  fault::ArmGate(Site::kSplitsBump);
+  a.MutableFreeSet() = {dead};
+  ScanAndFreeHashed(a);
+  fault::Disarm(Site::kSplitsBump);
+
+  EXPECT_TRUE(pool.OwnsLive(dead)) << "incomplete table cannot prove deadness";
+  EXPECT_EQ(a.free_set_size(), 1u);
+  EXPECT_GE(a.stats.snapshot_incomplete, 1u);
+  EXPECT_GT(a.stats.scan_retry_capped, 0u);
+  EXPECT_EQ(RootSnapshotService::Instance().published_version(), version_before)
+      << "incomplete tables must never be published";
+
+  // Fault cleared: the very next round reclaims.
+  EXPECT_EQ(a.FlushFrees(), 0u);
+  EXPECT_FALSE(pool.OwnsLive(dead));
+}
+
+// A thread parked with its splits counter odd (stalled mid-exposure) starves the
+// collection through the odd-seq retry path, with the same frees-nothing outcome.
+TEST_F(ReclaimEngineTest, OddSeqStallMakesRoundIncomplete) {
+  StConfig config = HashedConfig();
+  config.inspect_retry_cap = 4;
+  SlotClaim a_slot, victim_slot;
+  StContext a(a_slot.tid, config);
+  StContext victim(victim_slot.tid, config);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* dead = pool.Alloc(64);
+
+  victim.splits_seq.store(1, std::memory_order_release);  // exposure "in flight"
+  a.MutableFreeSet() = {dead};
+  ScanAndFreeHashed(a);
+  EXPECT_TRUE(pool.OwnsLive(dead));
+  EXPECT_GE(a.stats.snapshot_incomplete, 1u);
+
+  victim.splits_seq.store(2, std::memory_order_release);  // exposure finished
+  EXPECT_EQ(a.FlushFrees(), 0u);
+  EXPECT_FALSE(pool.OwnsLive(dead));
+}
+
+// An overflowed reference set cannot be enumerated into a table; with refset
+// scanning in force the round is incomplete and frees nothing.
+TEST_F(ReclaimEngineTest, RefsetOverflowMakesRoundIncomplete) {
+  StConfig config = HashedConfig();
+  config.scan_refsets_always = true;
+  SlotClaim a_slot, victim_slot;
+  StContext a(a_slot.tid, config);
+  StContext victim(victim_slot.tid, config);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* dead = pool.Alloc(64);
+
+  for (uint32_t i = 0; i <= RefSet::kSlots; ++i) {
+    victim.ref_set.Add(0x1000);
+  }
+  ASSERT_TRUE(victim.ref_set.overflowed());
+
+  a.MutableFreeSet() = {dead};
+  ScanAndFreeHashed(a);
+  EXPECT_TRUE(pool.OwnsLive(dead));
+  EXPECT_GE(a.stats.snapshot_incomplete, 1u);
+
+  victim.ref_set.Clear();
+  EXPECT_EQ(a.FlushFrees(), 0u);
+  EXPECT_FALSE(pool.OwnsLive(dead));
+}
+
+// A shared table contains the reclaimer's own roots (a private per-candidate scan
+// skips self entirely); the probe must exclude them, because roots still sitting in
+// the reclaimer's frames after its operation ended are dead by contract.
+TEST_F(ReclaimEngineTest, SharedTableExcludesReclaimersOwnRoots) {
+  SlotClaim a_slot, b_slot;
+  StContext a(a_slot.tid, HashedConfig());
+  StContext b(b_slot.tid, HashedConfig());
+  TrackedFrame<2> frame(b);  // b's own (dead-by-contract) root
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* node = pool.Alloc(64);
+  frame.words[0] = reinterpret_cast<uintptr_t>(node);
+
+  a.MutableFreeSet() = {pool.Alloc(64)};
+  ScanAndFreeHashed(a);  // publishes a table recording b's pin, tagged with b's tid
+  EXPECT_EQ(a.stats.snapshot_publishes, 1u);
+
+  b.MutableFreeSet() = {node};
+  ScanAndFreeHashed(b);  // reuses the table; the only matching root is b's own
+  EXPECT_EQ(b.stats.snapshot_reuses, 1u);
+  EXPECT_FALSE(pool.OwnsLive(node))
+      << "a reclaimer's own roots must not block its frees";
+  frame.words[0] = 0;
+}
+
+// ...but the same root in ANOTHER thread's frame does block the free.
+TEST_F(ReclaimEngineTest, SharedTableKeepsOtherThreadsRoots) {
+  SlotClaim a_slot, b_slot;
+  StContext a(a_slot.tid, HashedConfig());
+  StContext b(b_slot.tid, HashedConfig());
+  TrackedFrame<2> frame(a);
+  auto& pool = runtime::PoolAllocator::Instance();
+  void* node = pool.Alloc(64);
+  frame.words[0] = reinterpret_cast<uintptr_t>(node);
+
+  a.MutableFreeSet() = {pool.Alloc(64)};
+  ScanAndFreeHashed(a);
+  b.MutableFreeSet() = {node};
+  ScanAndFreeHashed(b);
+  EXPECT_EQ(b.stats.snapshot_reuses, 1u);
+  EXPECT_TRUE(pool.OwnsLive(node));
+
+  frame.words[0] = 0;
+  EXPECT_EQ(b.FlushFrees(), 0u);
+  EXPECT_FALSE(pool.OwnsLive(node));
+}
+
+}  // namespace
+}  // namespace stacktrack::core
