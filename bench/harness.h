@@ -10,6 +10,8 @@
 // Environment knobs (all optional):
 //   ST_BENCH_MS       per-point measure window in ms (default 150)
 //   ST_BENCH_THREADS  comma list of thread counts (default "1,2,3,4,6,8,12,16")
+//   ST_TRACE_ARM      if set, arms event tracing for the whole run (armed-overhead
+//                     measurements; records go to the per-thread rings as usual)
 #ifndef STACKTRACK_BENCH_HARNESS_H_
 #define STACKTRACK_BENCH_HARNESS_H_
 
@@ -28,6 +30,7 @@
 
 #include "core/stats.h"
 #include "runtime/barrier.h"
+#include "runtime/trace.h"
 #include "runtime/machine_model.h"
 #include "runtime/preempt.h"
 #include "runtime/rand.h"
@@ -207,6 +210,10 @@ WorkloadResult RunQueueWorkload(Queue& queue, const WorkloadConfig& cfg) {
 }
 
 inline void PrintHeader(const char* title, const char* workload) {
+  if (std::getenv("ST_TRACE_ARM") != nullptr) {
+    runtime::trace::Arm(true);
+    std::printf("# event tracing: ARMED\n");
+  }
   std::printf("# %s\n# workload: %s\n", title, workload);
   std::printf("# machine model: 4 cores x 2 SMT (software HTM substrate)\n");
 }

@@ -11,9 +11,8 @@
 #include <thread>
 #include <vector>
 
-#include "ds/hashtable.h"
 #include "runtime/rand.h"
-#include "smr/stacktrack_smr.h"
+#include "stacktrack.h"
 
 using stacktrack::ds::LockFreeHashTable;
 using stacktrack::smr::StackTrackSmr;
@@ -85,5 +84,10 @@ int main() {
               "while running)\n",
               static_cast<unsigned long long>(pool.total_allocs),
               static_cast<unsigned long long>(pool.total_frees), pool.live_objects);
+  const auto stats = domain.Snapshot();
+  std::printf("  scheme: %llu retires, %llu frees, reclamation lag %llu\n",
+              static_cast<unsigned long long>(stats.retires),
+              static_cast<unsigned long long>(stats.frees),
+              static_cast<unsigned long long>(stats.retires - stats.frees));
   return 0;
 }

@@ -8,8 +8,7 @@
 // Build: cmake --build build --target quickstart  ->  ./build/examples/quickstart
 #include <cstdio>
 
-#include "ds/list.h"
-#include "smr/stacktrack_smr.h"
+#include "stacktrack.h"
 
 using stacktrack::ds::LockFreeList;
 using stacktrack::smr::StackTrackSmr;
@@ -36,11 +35,13 @@ int main() {
               static_cast<unsigned long long>(pool.total_allocs),
               static_cast<unsigned long long>(pool.total_frees), pool.live_objects);
 
-  const auto stats = stacktrack::core::StatsRegistry::Instance().Sum();
+  // Every scheme's Domain answers Snapshot() with the same core::Stats view.
+  const auto stats = domain.Snapshot();
   std::printf("stacktrack: %llu ops, %llu segments, %.1f basic blocks per segment, "
-              "%llu nodes freed\n",
+              "%llu nodes freed (lag %llu)\n",
               static_cast<unsigned long long>(stats.ops),
               static_cast<unsigned long long>(stats.segments_committed),
-              stats.AvgSplitLength(), static_cast<unsigned long long>(stats.frees));
+              stats.AvgSplitLength(), static_cast<unsigned long long>(stats.frees),
+              static_cast<unsigned long long>(stats.retires - stats.frees));
   return 0;
 }

@@ -9,8 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "ds/queue.h"
-#include "smr/stacktrack_smr.h"
+#include "stacktrack.h"
 
 using stacktrack::ds::LockFreeQueue;
 using stacktrack::smr::StackTrackSmr;
@@ -108,5 +107,10 @@ int main() {
   std::printf("  pool: %llu allocs / %llu frees, %zu live objects\n",
               static_cast<unsigned long long>(pool.total_allocs),
               static_cast<unsigned long long>(pool.total_frees), pool.live_objects);
+  const auto stats = domain.Snapshot();
+  std::printf("  scheme: %llu retires, %llu frees, reclamation lag %llu\n",
+              static_cast<unsigned long long>(stats.retires),
+              static_cast<unsigned long long>(stats.frees),
+              static_cast<unsigned long long>(stats.retires - stats.frees));
   return 0;
 }

@@ -8,8 +8,11 @@
 #include "core/reclaim_engine.h"
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::core {
+
+namespace trace = runtime::trace;
 
 DeferredFreeList& DeferredFreeList::Instance() {
   static DeferredFreeList list;
@@ -129,6 +132,7 @@ void WatchdogTick(StContext& reclaimer) {
     } else if ((mask & bit) == 0 && round - wd.last_progress_round[tid] >= threshold) {
       mask |= bit;
       ++reclaimer.stats.watchdog_reports;
+      trace::Emit(trace::Event::kWatchdogReport, tid);
     }
   }
   wd.stalled_mask.store(mask, std::memory_order_release);

@@ -9,8 +9,11 @@
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
 #include "runtime/pool_alloc.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::core {
+
+namespace trace = runtime::trace;
 
 namespace {
 
@@ -60,6 +63,7 @@ void ApplyBackPressure(StContext& reclaimer) {
       free_set.erase(free_set.begin() + max_free,
                      free_set.begin() + static_cast<std::ptrdiff_t>(max_free + accepted));
       reclaimer.stats.backpressure_spills += accepted;
+      trace::Emit(trace::Event::kBackpressureSpill, accepted);
     }
     reclaimer.RaiseScanThreshold();
   } else if (free_set.size() <= max_free) {
@@ -110,6 +114,9 @@ void VerdictShards(StContext& reclaimer, bool count_hits, LiveProbe&& live) {
       pool.Free(dead[i]);
     }
     reclaimer.stats.frees += n_dead;
+    if (n_dead != 0) {
+      trace::Emit(trace::Event::kFree, n_dead);
+    }
   }
   free_set.resize(kept);
 }
@@ -282,9 +289,11 @@ std::shared_ptr<const RootSnapshot> RootSnapshotService::TryReuse(StContext& rec
   }
   if (!Validate(*pub, reclaimer, needs_refsets)) {
     ++reclaimer.stats.snapshot_stale;
+    trace::Emit(trace::Event::kSnapshotStale, pub->version);
     return nullptr;
   }
   ++reclaimer.stats.snapshot_reuses;
+  trace::Emit(trace::Event::kSnapshotReuse, pub->roots.size());
   return pub;
 }
 
@@ -337,6 +346,7 @@ std::shared_ptr<const RootSnapshot> RootSnapshotService::Acquire(StContext& recl
       snap->publisher_tid = reclaimer.tid();
       Publish(snap);
       ++reclaimer.stats.snapshot_publishes;
+      trace::Emit(trace::Event::kSnapshotPublish, snap->roots.size());
     } else {
       ++reclaimer.stats.snapshot_incomplete;
     }
@@ -373,6 +383,8 @@ std::shared_ptr<const RootSnapshot> RootSnapshotService::Acquire(StContext& recl
 void ReclaimEngine::Run(StContext& reclaimer, ScanMode mode) {
   ++reclaimer.stats.scan_calls;
   AdoptDeferred(reclaimer);
+  trace::Emit(trace::Event::kScanBegin, reclaimer.MutableFreeSet().size());
+  const uint64_t frees_before = reclaimer.stats.frees;
   if (!reclaimer.MutableFreeSet().empty()) {
     if (mode == ScanMode::kPerCandidate) {
       // CandidateIsLive counts scan_hits itself (one per live verdict), so the shard
@@ -395,6 +407,7 @@ void ReclaimEngine::Run(StContext& reclaimer, ScanMode mode) {
   }
   ApplyBackPressure(reclaimer);
   WatchdogTick(reclaimer);
+  trace::Emit(trace::Event::kScanEnd, reclaimer.stats.frees - frees_before);
 }
 
 void ReclaimEngine::DrainOnExit(StContext& ctx) {

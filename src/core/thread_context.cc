@@ -8,8 +8,11 @@
 #include "core/reclaim_engine.h"
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::core {
+
+namespace trace = runtime::trace;
 
 // ---- RefSet --------------------------------------------------------------------
 
@@ -105,6 +108,7 @@ void StContext::RaiseScanThreshold() {
   if (next > scan_threshold_) {
     scan_threshold_ = next;
     ++stats.backpressure_raises;
+    trace::Emit(trace::Event::kBackpressureRaise, next);
   }
 }
 
@@ -154,6 +158,7 @@ bool StContext::PrepareSegment() {
 void StContext::SegmentStarted() {
   steps_ = 0;
   limit_ = CurrentCell().limit;
+  trace::Emit(trace::Event::kSegmentBegin, limit_);
 }
 
 void StContext::SlowSegmentStarted() {
@@ -161,6 +166,7 @@ void StContext::SlowSegmentStarted() {
   GlobalSlowPathCount().fetch_add(1, std::memory_order_acq_rel);
   steps_ = 0;
   limit_ = CurrentCell().limit;
+  trace::Emit(trace::Event::kSlowPathEntry, limit_);
 }
 
 void StContext::SegmentAborted(int cause) {
@@ -196,6 +202,7 @@ void StContext::SegmentAborted(int cause) {
       if (cell.limit > config_.min_split_limit) {
         --cell.limit;
         ++stats.predictor_decreases;
+        trace::Emit(trace::Event::kPredictorShrink, cell.limit);
       }
       cell.consec_aborts = 0;
     }
@@ -223,6 +230,9 @@ void StContext::ExposeRegisters() {
 }
 
 void StContext::SpliceRetires() {
+  if (!tx_retire_.empty()) {
+    trace::Emit(trace::Event::kRetire, tx_retire_.size());
+  }
   for (void* ptr : tx_retire_) {
     free_set_.push_back(ptr);
     ++stats.retires;
@@ -265,12 +275,15 @@ void StContext::CommitSegment() {
       if (cell.limit < config_.max_split_limit) {
         ++cell.limit;
         ++stats.predictor_increases;
+        trace::Emit(trace::Event::kPredictorGrow, cell.limit);
       }
       cell.consec_commits = 0;
     }
     attempt_fails_ = 0;
     SpliceRetires();
   }
+  // Reached only on success: a failed TxCommit longjmps back to the begin point.
+  trace::Emit(trace::Event::kCheckpointSplit, steps_);
   if (segment_index_ + 1 < kMaxSegments) {
     ++segment_index_;
   }
@@ -300,11 +313,13 @@ void StContext::OpEnd() {
       if (cell.limit < config_.max_split_limit) {
         ++cell.limit;
         ++stats.predictor_increases;
+        trace::Emit(trace::Event::kPredictorGrow, cell.limit);
       }
       cell.consec_commits = 0;
     }
     SpliceRetires();
   }
+  trace::Emit(trace::Event::kSegmentCommit, steps_);
 
   // Drop every root this operation held so an idle thread never pins memory.
   for (uint32_t i = 0; i < kRegisterSlots; ++i) {
@@ -331,6 +346,7 @@ void StContext::Retire(void* ptr, uint64_t /*key*/) { tx_retire_.push_back(ptr);
 void StContext::Free(void* ptr) {
   free_set_.push_back(ptr);
   ++stats.retires;
+  trace::Emit(trace::Event::kRetire, 1);
   NoteFreeSetSize();
   if (free_set_.size() >= scan_threshold_) {
     ReclaimEngine::Run(*this, config_.hashed_scan ? ScanMode::kSnapshot

@@ -13,6 +13,7 @@
 #endif
 
 #include "runtime/fault.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::htm {
 
@@ -37,6 +38,14 @@ bool CpuidHasRtm() {
     return false;
   }
   return (ebx & (1u << 11)) != 0;  // CPUID.7.0:EBX.RTM
+}
+
+// Abort event, recorded once the transaction is definitely dead (never from inside
+// one: clock_gettime touches the vvar page, a guaranteed abort).
+int ReportAbort(int cause) {
+  runtime::trace::Emit(runtime::trace::Event::kSegmentAbort,
+                       static_cast<uint64_t>(cause));
+  return cause;
 }
 
 // Attempts a handful of trivial transactions; reports whether any committed.
@@ -72,15 +81,15 @@ int RtmBeginPointImpl() {
     return 0;
   }
   if ((status & _XABORT_EXPLICIT) != 0) {
-    return kCauseExplicit;
+    return ReportAbort(kCauseExplicit);
   }
   if ((status & _XABORT_CAPACITY) != 0) {
-    return kCauseCapacity;
+    return ReportAbort(kCauseCapacity);
   }
   if ((status & (_XABORT_CONFLICT | _XABORT_RETRY)) != 0) {
-    return kCauseConflict;
+    return ReportAbort(kCauseConflict);
   }
-  return kCauseOther;
+  return ReportAbort(kCauseOther);
 }
 
 void RtmCommitImpl() { _xend(); }

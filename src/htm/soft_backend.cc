@@ -6,6 +6,7 @@
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
 #include "runtime/machine_model.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::htm::soft {
 namespace {
@@ -32,7 +33,11 @@ void ResetTx(TxDesc& tx) {
 int BeginPoint(int jmp_rc) {
   TxDesc& tx = tls_tx;
   if (jmp_rc != 0) {
-    // Arrived here via an abort longjmp; the descriptor was already reset.
+    // Arrived here via an abort longjmp; the descriptor was already reset. Every
+    // soft-transaction abort resumes through this point, so it is the one place the
+    // abort event (arg = htm::AbortCause code) is recorded.
+    runtime::trace::Emit(runtime::trace::Event::kSegmentAbort,
+                         static_cast<uint64_t>(jmp_rc));
     return jmp_rc;
   }
   if (tx.active) {

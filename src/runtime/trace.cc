@@ -1,0 +1,83 @@
+#include "runtime/trace.h"
+
+#if defined(STACKTRACK_TRACE_ENABLED)
+
+#include <algorithm>
+
+namespace stacktrack::runtime::trace {
+
+namespace internal {
+
+namespace {
+// Statically allocated so emits never touch the allocator (an emit site may sit
+// inside the pool allocator's own free path). ~6 MiB with 64 threads x 4096 records.
+Ring g_rings[kMaxThreads];
+}  // namespace
+
+Ring& RingForThread(uint32_t tid) { return g_rings[tid]; }
+
+std::atomic<uint64_t>& UnattributedDrops() {
+  static std::atomic<uint64_t> drops{0};
+  return drops;
+}
+
+}  // namespace internal
+
+void Arm(bool on) { ArmedFlag().store(on, std::memory_order_release); }
+
+void EmitSlow(Event event, uint64_t arg) {
+  const uint32_t tid = CurrentThreadId();
+  if (tid >= kMaxThreads) {
+    // Unregistered thread (domain teardown on main, external samplers): nowhere to
+    // attribute the record. Count it so "no drops" claims stay honest.
+    internal::UnattributedDrops().fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  internal::RingForThread(tid).Emit(event, arg);
+}
+
+uint64_t TotalDropped() {
+  uint64_t total = internal::UnattributedDrops().load(std::memory_order_acquire);
+  for (uint32_t tid = 0; tid < kMaxThreads; ++tid) {
+    total += internal::RingForThread(tid).dropped();
+  }
+  return total;
+}
+
+std::vector<MergedRecord> CollectMerged() {
+  std::vector<MergedRecord> merged;
+  for (uint32_t tid = 0; tid < kMaxThreads; ++tid) {
+    const Ring& ring = internal::RingForThread(tid);
+    const uint64_t head = ring.head();
+    const uint64_t first = head > Ring::kCapacity ? head - Ring::kCapacity : 0;
+    merged.reserve(merged.size() + static_cast<std::size_t>(head - first));
+    for (uint64_t i = first; i < head; ++i) {
+      const Record& r = ring.at(i);
+      if (ring.head() - i > Ring::kCapacity) {
+        continue;  // overwritten while we were reading; skip the torn slot
+      }
+      MergedRecord out;
+      out.ns = r.ns;
+      out.arg = r.arg;
+      out.tid = tid;
+      out.event = r.event < static_cast<uint16_t>(Event::kCount)
+                      ? static_cast<Event>(r.event)
+                      : Event::kCount;
+      merged.push_back(out);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedRecord& a, const MergedRecord& b) { return a.ns < b.ns; });
+  return merged;
+}
+
+void ResetAll() {
+  for (uint32_t tid = 0; tid < kMaxThreads; ++tid) {
+    internal::RingForThread(tid).Reset();
+  }
+  internal::UnattributedDrops().store(0, std::memory_order_release);
+}
+
+}  // namespace stacktrack::runtime::trace
+
+#endif  // STACKTRACK_TRACE_ENABLED

@@ -1,8 +1,11 @@
 #include "smr/dta.h"
 
 #include "runtime/pool_alloc.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::smr {
+
+namespace trace = runtime::trace;
 
 void DtaSmr::Handle::OpBegin(uint32_t) {
   auto& mine = domain_->announcements_[tid_].value;
@@ -18,7 +21,7 @@ void DtaSmr::Handle::OpEnd() {
 }
 
 void DtaSmr::Handle::AnchorHop(uint64_t key) {
-  if (++hops_ < domain_->anchor_interval_) {
+  if (++hops_ < domain_->config_.anchor_interval) {
     return;
   }
   hops_ = 0;
@@ -32,7 +35,9 @@ void DtaSmr::Handle::AnchorHop(uint64_t key) {
 void DtaSmr::Handle::Retire(void* ptr, uint64_t key) {
   retired_.push_back(Retired{ptr, key, domain_->clock_.fetch_add(1, std::memory_order_acq_rel),
                              /*stall_rounds=*/0});
-  if (retired_.size() >= domain_->batch_size_) {
+  domain_->total_retired_.fetch_add(1, std::memory_order_relaxed);
+  trace::Emit(trace::Event::kRetire, 1);
+  if (retired_.size() >= domain_->config_.batch_size) {
     domain_->Scan(*this);
   }
 }
@@ -46,6 +51,7 @@ DtaSmr::Handle& DtaSmr::Domain::AcquireHandle() {
 }
 
 void DtaSmr::Domain::Scan(Handle& handle) {
+  trace::Emit(trace::Event::kScanBegin, handle.retired_.size());
   auto& pool = runtime::PoolAllocator::Instance();
   const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
   std::size_t kept = 0;
@@ -71,7 +77,7 @@ void DtaSmr::Domain::Scan(Handle& handle) {
     if (!pinned) {
       pool.Free(node.ptr);
       ++freed;
-    } else if (++node.stall_rounds >= stall_rounds_) {
+    } else if (++node.stall_rounds >= config_.stall_rounds) {
       // Freezing substitute: a stalled operation has pinned this node across many
       // scans; quarantine it permanently so reclamation stays non-blocking.
       ++quarantined;
@@ -82,6 +88,10 @@ void DtaSmr::Domain::Scan(Handle& handle) {
   handle.retired_.resize(kept);
   total_freed_.fetch_add(freed, std::memory_order_relaxed);
   total_quarantined_.fetch_add(quarantined, std::memory_order_relaxed);
+  if (freed != 0) {
+    trace::Emit(trace::Event::kFree, freed);
+  }
+  trace::Emit(trace::Event::kScanEnd, freed);
 }
 
 DtaSmr::Domain::~Domain() {

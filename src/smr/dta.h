@@ -21,14 +21,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/stats.h"
 #include "runtime/cacheline.h"
 #include "runtime/thread_registry.h"
+#include "runtime/trace.h"
 #include "smr/smr.h"
 
 namespace stacktrack::smr {
 
 struct DtaSmr {
   static constexpr bool kSplits = false;
+
+  struct Config {
+    uint32_t anchor_interval = 64;  // traversal hops between published anchors
+    uint32_t batch_size = 128;      // retired nodes buffered per thread before a scan
+    uint32_t stall_rounds = 64;     // scans pinned by one stalled op before quarantine
+  };
 
   class Domain;
 
@@ -86,11 +94,11 @@ struct DtaSmr {
 
   class Domain {
    public:
+    explicit Domain(const Config& config) : config_(config) {}
+    // Positional form kept for existing callers; fields as in Config.
     explicit Domain(uint32_t anchor_interval = 64, uint32_t batch_size = 128,
                     uint32_t stall_rounds = 64)
-        : anchor_interval_(anchor_interval),
-          batch_size_(batch_size),
-          stall_rounds_(stall_rounds) {}
+        : Domain(Config{anchor_interval, batch_size, stall_rounds}) {}
     ~Domain();
 
     Handle& AcquireHandle();
@@ -98,6 +106,20 @@ struct DtaSmr {
     uint64_t total_freed() const { return total_freed_.load(std::memory_order_relaxed); }
     uint64_t total_quarantined() const {
       return total_quarantined_.load(std::memory_order_relaxed);
+    }
+
+    const Config& config() const { return config_; }
+    core::Stats Snapshot() const {
+      core::Stats s{};
+      s.retires = total_retired_.load(std::memory_order_relaxed);
+      s.frees = total_freed_.load(std::memory_order_relaxed);
+      // Quarantined nodes are permanently withheld from the pool — the same
+      // "candidate parked, never freed" role stale_free_drops plays for StackTrack.
+      s.stale_free_drops = total_quarantined_.load(std::memory_order_relaxed);
+      return s;
+    }
+    std::vector<runtime::trace::MergedRecord> Trace() const {
+      return runtime::trace::CollectMerged();
     }
 
    private:
@@ -112,12 +134,11 @@ struct DtaSmr {
 
     void Scan(Handle& handle);
 
-    const uint32_t anchor_interval_;
-    const uint32_t batch_size_;
-    const uint32_t stall_rounds_;
+    const Config config_;
     std::atomic<uint64_t> clock_{1};
     runtime::CacheAligned<Announcement> announcements_[runtime::kMaxThreads];
     Handle handles_[runtime::kMaxThreads];
+    std::atomic<uint64_t> total_retired_{0};
     std::atomic<uint64_t> total_freed_{0};
     std::atomic<uint64_t> total_quarantined_{0};
   };

@@ -3,8 +3,11 @@
 #include <sched.h>
 
 #include "runtime/pool_alloc.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::smr {
+
+namespace trace = runtime::trace;
 
 void EpochSmr::Handle::OpBegin(uint32_t) {
   auto& mine = domain_->announcements_[tid_].value;
@@ -16,7 +19,7 @@ void EpochSmr::Handle::OpEnd() {
   auto& mine = domain_->announcements_[tid_].value;
   mine.ops.fetch_add(1, std::memory_order_release);
   mine.stamp.store(Domain::kIdle, std::memory_order_release);
-  if (limbo_.size() < domain_->batch_size_) {
+  if (limbo_.size() < domain_->config_.batch_size) {
     return;
   }
   // Reclaim at the operation boundary, where this thread is itself quiescent: a
@@ -26,15 +29,22 @@ void EpochSmr::Handle::OpEnd() {
   // safe (an idle reclaimer holds no references).
   std::vector<void*> batch;
   batch.swap(limbo_);  // nodes retired during the wait belong to the next batch
+  trace::Emit(trace::Event::kScanBegin, batch.size());
   domain_->WaitForQuiescence(tid_);
   auto& pool = runtime::PoolAllocator::Instance();
   for (void* node : batch) {
     pool.Free(node);
   }
   domain_->total_freed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  trace::Emit(trace::Event::kFree, batch.size());
+  trace::Emit(trace::Event::kScanEnd, batch.size());
 }
 
-void EpochSmr::Handle::Retire(void* ptr, uint64_t) { limbo_.push_back(ptr); }
+void EpochSmr::Handle::Retire(void* ptr, uint64_t) {
+  limbo_.push_back(ptr);
+  domain_->total_retired_.fetch_add(1, std::memory_order_relaxed);
+  trace::Emit(trace::Event::kRetire, 1);
+}
 
 EpochSmr::Handle& EpochSmr::Domain::AcquireHandle() {
   const uint32_t tid = runtime::CurrentThreadId();

@@ -15,14 +15,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/stats.h"
 #include "runtime/cacheline.h"
 #include "runtime/thread_registry.h"
+#include "runtime/trace.h"
 #include "smr/smr.h"
 
 namespace stacktrack::smr {
 
 struct EpochSmr {
   static constexpr bool kSplits = false;
+
+  struct Config {
+    uint32_t batch_size = 4;  // retired nodes buffered per thread before a wait+free
+  };
 
   class Domain;
 
@@ -69,13 +75,31 @@ struct EpochSmr {
 
   class Domain {
    public:
-    // `batch_size`: retired nodes buffered per thread before a quiescence wait + free.
-    explicit Domain(uint32_t batch_size = 4) : batch_size_(batch_size) {}
+    explicit Domain(const Config& config) : config_(config) {}
+    // Positional form kept for existing callers; `batch_size` as in Config.
+    explicit Domain(uint32_t batch_size = 4) : Domain(Config{batch_size}) {}
     ~Domain();
 
     Handle& AcquireHandle();
 
     uint64_t total_freed() const { return total_freed_.load(std::memory_order_relaxed); }
+
+    const Config& config() const { return config_; }
+    // Racy snapshot mapped onto the shared counter shape: ops from the per-thread
+    // announcement counters, retires/frees from the domain totals.
+    core::Stats Snapshot() const {
+      core::Stats s{};
+      s.retires = total_retired_.load(std::memory_order_relaxed);
+      s.frees = total_freed_.load(std::memory_order_relaxed);
+      const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+      for (uint32_t tid = 0; tid < watermark && tid < runtime::kMaxThreads; ++tid) {
+        s.ops += announcements_[tid].value.ops.load(std::memory_order_relaxed);
+      }
+      return s;
+    }
+    std::vector<runtime::trace::MergedRecord> Trace() const {
+      return runtime::trace::CollectMerged();
+    }
 
    private:
     friend class Handle;
@@ -91,10 +115,11 @@ struct EpochSmr {
     // the call began (gone idle, re-announced, or completed an operation).
     void WaitForQuiescence(uint32_t self_tid);
 
-    const uint32_t batch_size_;
+    const Config config_;
     std::atomic<uint64_t> clock_{1};
     runtime::CacheAligned<Announcement> announcements_[runtime::kMaxThreads];
     Handle handles_[runtime::kMaxThreads];
+    std::atomic<uint64_t> total_retired_{0};
     std::atomic<uint64_t> total_freed_{0};
   };
 };

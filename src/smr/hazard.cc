@@ -1,8 +1,11 @@
 #include "smr/hazard.h"
 
 #include "runtime/pool_alloc.h"
+#include "runtime/trace.h"
 
 namespace stacktrack::smr {
+
+namespace trace = runtime::trace;
 
 std::atomic<uintptr_t>& HazardSmr::Handle::HazardSlot(uint32_t slot) {
   return domain_->rows_[tid_].value.slots[slot];
@@ -17,7 +20,9 @@ void HazardSmr::Handle::OpEnd() {
 
 void HazardSmr::Handle::Retire(void* ptr, uint64_t) {
   retired_.push_back(ptr);
-  if (retired_.size() >= domain_->scan_threshold_) {
+  domain_->total_retired_.fetch_add(1, std::memory_order_relaxed);
+  trace::Emit(trace::Event::kRetire, 1);
+  if (retired_.size() >= domain_->config_.scan_threshold) {
     domain_->Scan(retired_);
   }
 }
@@ -31,6 +36,8 @@ HazardSmr::Handle& HazardSmr::Domain::AcquireHandle() {
 }
 
 void HazardSmr::Domain::Scan(std::vector<void*>& retired) {
+  total_scans_.fetch_add(1, std::memory_order_relaxed);
+  trace::Emit(trace::Event::kScanBegin, retired.size());
   // Stage 1: snapshot all published hazards.
   std::vector<uintptr_t> hazards;
   hazards.reserve(runtime::kMaxThreads * kSlotsPerThread);
@@ -67,6 +74,10 @@ void HazardSmr::Domain::Scan(std::vector<void*>& retired) {
   }
   retired.resize(kept);
   total_freed_.fetch_add(freed, std::memory_order_relaxed);
+  if (freed != 0) {
+    trace::Emit(trace::Event::kFree, freed);
+  }
+  trace::Emit(trace::Event::kScanEnd, freed);
 }
 
 HazardSmr::Domain::~Domain() {

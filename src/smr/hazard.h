@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/stats.h"
 #include "runtime/cacheline.h"
 #include "runtime/thread_registry.h"
+#include "runtime/trace.h"
 #include "smr/smr.h"
 
 namespace stacktrack::smr {
@@ -21,6 +23,10 @@ namespace stacktrack::smr {
 struct HazardSmr {
   static constexpr bool kSplits = false;
   static constexpr uint32_t kSlotsPerThread = 40;  // skip-list: 2 per level + traversal
+
+  struct Config {
+    uint32_t scan_threshold = 64;  // retired nodes buffered per thread before a scan
+  };
 
   class Domain;
 
@@ -87,13 +93,26 @@ struct HazardSmr {
 
   class Domain {
    public:
-    // `scan_threshold`: retired nodes buffered per thread before a hazard scan.
-    explicit Domain(uint32_t scan_threshold = 64) : scan_threshold_(scan_threshold) {}
+    explicit Domain(const Config& config) : config_(config) {}
+    // Positional form kept for existing callers; `scan_threshold` as in Config.
+    explicit Domain(uint32_t scan_threshold = 64) : Domain(Config{scan_threshold}) {}
     ~Domain();
 
     Handle& AcquireHandle();
 
     uint64_t total_freed() const { return total_freed_.load(std::memory_order_relaxed); }
+
+    const Config& config() const { return config_; }
+    core::Stats Snapshot() const {
+      core::Stats s{};
+      s.retires = total_retired_.load(std::memory_order_relaxed);
+      s.frees = total_freed_.load(std::memory_order_relaxed);
+      s.scan_calls = total_scans_.load(std::memory_order_relaxed);
+      return s;
+    }
+    std::vector<runtime::trace::MergedRecord> Trace() const {
+      return runtime::trace::CollectMerged();
+    }
 
    private:
     friend class Handle;
@@ -106,10 +125,12 @@ struct HazardSmr {
     // compacted back into `retired`.
     void Scan(std::vector<void*>& retired);
 
-    const uint32_t scan_threshold_;
+    const Config config_;
     runtime::CacheAligned<HazardRow> rows_[runtime::kMaxThreads];
     Handle handles_[runtime::kMaxThreads];
+    std::atomic<uint64_t> total_retired_{0};
     std::atomic<uint64_t> total_freed_{0};
+    std::atomic<uint64_t> total_scans_{0};
   };
 };
 

@@ -4,13 +4,19 @@
 #ifndef STACKTRACK_SMR_LEAKY_H_
 #define STACKTRACK_SMR_LEAKY_H_
 
+#include <vector>
+
+#include "core/stats.h"
 #include "runtime/thread_registry.h"
+#include "runtime/trace.h"
 #include "smr/smr.h"
 
 namespace stacktrack::smr {
 
 struct LeakySmr {
   static constexpr bool kSplits = false;
+
+  struct Config {};  // nothing to tune: Retire is a no-op
 
   class Handle : public NoSplitOps, public PlainRegs {
    public:
@@ -48,7 +54,16 @@ struct LeakySmr {
    public:
     Handle& AcquireHandle() { return handles_[runtime::CurrentThreadId()]; }
 
+    const Config& config() const { return config_; }
+    // No counters to report: leaking is the scheme. All-zero keeps the identity
+    // frees <= retires trivially true for uniform consumers.
+    core::Stats Snapshot() const { return core::Stats{}; }
+    std::vector<runtime::trace::MergedRecord> Trace() const {
+      return runtime::trace::CollectMerged();
+    }
+
    private:
+    Config config_;
     Handle handles_[runtime::kMaxThreads];
   };
 };

@@ -9,8 +9,23 @@
 //     static constexpr bool kSplits;            // true only for StackTrack
 //     using Handle = ...;                        // per-thread accessor
 //     template <uint32_t N> using Frame = ...;   // root storage (tracked for ST)
-//     class Domain { Handle& AcquireHandle(); }; // per-scheme shared state
+//     class Domain {                             // per-scheme shared state
+//       Handle& AcquireHandle();                 //   per-thread handle (current tid)
+//       const Config& config() const;            //   scheme tuning knobs (read-only)
+//       core::Stats Snapshot() const;            //   counters; zeroes where a scheme
+//                                                //   keeps none (racy, for reporting)
+//       std::vector<runtime::trace::MergedRecord>
+//           Trace() const;                       //   merged event trace (trace.h);
+//                                                //   empty when disarmed/compiled out
+//     };
 //   };
+//
+// `Config` is scheme-specific (StConfig for StackTrack, batch/threshold structs for
+// the baselines, empty for Leaky); Snapshot() maps whatever the scheme counts onto
+// core::Stats so cross-scheme reports (reclamation lag = retires − frees) come from
+// one shape. Trace() is uniform: the ring buffers are global per thread, so every
+// domain returns the same merged view — the call exists on each Domain so telemetry
+// consumers need no scheme-specific code path.
 //
 // Handle operations:
 //   OpBegin/OpEnd            operation brackets (epoch announce, split init/commit...)
@@ -20,9 +35,16 @@
 //   AnchorHop(key)           drop-the-anchor traversal hook; no-op elsewhere
 //   reg<T>(slot)             register-file root (StackTrack shadow registers)
 //
-// The SMR_* macros wrap the StackTrack split-checkpoint protocol; for non-splitting
-// schemes they reduce to the plain OpBegin/OpEnd calls. They must be expanded inside
-// the operation function's own frame (see core/split_engine.h for why).
+// Entry points, in order of preference:
+//   * OpScope<Handle> (below) — RAII operation bracket with a checkpoint() member;
+//     the supported API for application code (see examples/).
+//   * The SMR_OP_*/SMR_CHECKPOINT macros — the documented expansion used by src/ds/,
+//     needed when the operation should run StackTrack's transactional fast path: a
+//     transaction begin point must be expanded lexically inside a stack frame that
+//     outlives the segment (see core/split_engine.h), which no constructor can offer.
+//     OpScope therefore runs splitting schemes on the software slow path; the macros
+//     reduce to plain OpBegin/OpEnd for non-splitting schemes, where OpScope costs
+//     nothing either.
 #ifndef STACKTRACK_SMR_SMR_H_
 #define STACKTRACK_SMR_SMR_H_
 
@@ -70,6 +92,54 @@ class PlainRegs {
 
  private:
   uintptr_t regs_[core::kRegisterSlots] = {};
+};
+
+// RAII operation bracket: OpBegin in the constructor, OpEnd in the destructor, with
+// checkpoint() as the optional mid-operation split point. This is the supported entry
+// point for application code — it works identically for every scheme and cannot leak
+// an open operation across an early return or exception path.
+//
+// For splitting schemes (StackTrack) the scope runs the whole operation on the
+// software slow path: the transactional fast path needs its begin point (setjmp /
+// xbegin) in a stack frame that outlives the segment, and a constructor's frame dies
+// on return — resuming into it would be undefined behaviour. The slow path has no
+// begin point, is always sound, and still splits at checkpoint() (exposing roots and
+// letting reclaimers make progress mid-operation). Code that wants the fast path uses
+// the SMR_OP_* macros, whose expansion lives in the operation function's own frame;
+// src/ds/ does exactly that.
+template <typename Handle>
+class OpScope {
+  static constexpr bool kSplits = std::decay_t<Handle>::kSplits;
+
+ public:
+  explicit OpScope(Handle& handle, uint32_t op_id = 0) : handle_(handle) {
+    handle_.OpBegin(op_id);
+    if constexpr (kSplits) {
+      handle_.ForceSlowSegments();
+      handle_.SlowSegmentStarted();
+    }
+  }
+
+  ~OpScope() { handle_.OpEnd(); }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  // One basic block executed; commits the current slow segment and opens the next
+  // when the split budget is spent. No-op for non-splitting schemes.
+  void checkpoint() {
+    if constexpr (kSplits) {
+      if (handle_.CheckpointHit()) {
+        handle_.CommitSegment();
+        handle_.SlowSegmentStarted();
+      }
+    }
+  }
+
+  Handle& handle() { return handle_; }
+
+ private:
+  Handle& handle_;
 };
 
 }  // namespace stacktrack::smr

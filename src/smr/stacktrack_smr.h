@@ -4,10 +4,13 @@
 #define STACKTRACK_SMR_STACKTRACK_SMR_H_
 
 #include <memory>
+#include <vector>
 
+#include "core/stats.h"
 #include "core/thread_context.h"
 #include "runtime/barrier.h"
 #include "runtime/thread_registry.h"
+#include "runtime/trace.h"
 #include "smr/smr.h"
 
 namespace stacktrack::smr {
@@ -42,6 +45,12 @@ struct StackTrackSmr {
     }
 
     const core::StConfig& config() const { return config_; }
+    // Contexts register with the global StatsRegistry, so the domain-wide view is the
+    // registry sum (racy totals, exact at quiescence — same contract as the baselines).
+    core::Stats Snapshot() const { return core::StatsRegistry::Instance().Sum(); }
+    std::vector<runtime::trace::MergedRecord> Trace() const {
+      return runtime::trace::CollectMerged();
+    }
 
    private:
     core::StConfig config_;

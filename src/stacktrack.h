@@ -1,0 +1,51 @@
+// Umbrella header: the library's public surface in one include.
+//
+//   #include "stacktrack.h"
+//
+//   stacktrack::smr::StackTrackSmr::Domain domain;   // or Epoch/Hazard/Dta/LeakySmr
+//   stacktrack::runtime::ThreadScope scope;          // register the calling thread
+//   auto& handle = domain.AcquireHandle();
+//   {
+//     stacktrack::smr::OpScope op(handle);           // RAII operation scope
+//     ... handle.Load / handle.Store / handle.Retire ...
+//     op.checkpoint();                               // optional split point
+//   }
+//   auto stats = domain.Snapshot();                  // cumulative core::Stats view
+//   auto trace = domain.Trace();                     // merged event trace (if armed)
+//
+// Every Domain exposes the same surface — AcquireHandle() / config() / Snapshot() /
+// Trace() — so schemes are interchangeable as template parameters to the structures
+// in ds/. Hand-instrumented StackTrack operations (the ST_* macros of
+// core/split_engine.h) remain available for code that wants the HTM fast path; see
+// the macro/OpScope tradeoff note in smr/smr.h.
+#ifndef STACKTRACK_STACKTRACK_H_
+#define STACKTRACK_STACKTRACK_H_
+
+// Reclamation schemes (each pulls in its core/runtime dependencies).
+#include "smr/dta.h"
+#include "smr/epoch.h"
+#include "smr/hazard.h"
+#include "smr/leaky.h"
+#include "smr/smr.h"
+#include "smr/stacktrack_smr.h"
+
+// StackTrack instrumentation macros + per-thread context.
+#include "core/split_engine.h"
+#include "core/thread_context.h"
+
+// Observability: counters, periodic snapshots, exporters, event tracing.
+#include "core/stats.h"
+#include "core/stats_export.h"
+#include "runtime/trace.h"
+
+// Scheme-parameterized lock-free data structures.
+#include "ds/hashtable.h"
+#include "ds/list.h"
+#include "ds/queue.h"
+#include "ds/skiplist.h"
+
+// Runtime services examples and applications typically touch directly.
+#include "runtime/pool_alloc.h"
+#include "runtime/thread_registry.h"
+
+#endif  // STACKTRACK_STACKTRACK_H_

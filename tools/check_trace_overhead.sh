@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Enforces the disarmed-tracing cost contract (DESIGN.md §6): a build with tracing
+# compiled in but never armed may not lose more than 3% StackTrack throughput on
+# bench/fig1_list versus a build with tracing compiled out.
+#
+# Usage: tools/check_trace_overhead.sh [threads] [reps] [ms]
+#
+# Builds the `trace-off` and `default` (TRACE=ON, disarmed) presets, runs fig1_list
+# at a single thread count `reps` times each, and compares medians of the StackTrack
+# column. Exits non-zero on regression beyond the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-4}"
+REPS="${2:-5}"
+MS="${3:-200}"
+GATE_PERCENT=3
+
+build() {
+  local preset="$1"
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$(nproc)" --target fig1_list >/dev/null
+}
+
+# Median StackTrack throughput (column 5: threads Original Hazards Epoch StackTrack
+# DTA) over $REPS runs of one binary.
+median_throughput() {
+  local binary="$1"
+  local values=()
+  for _ in $(seq "$REPS"); do
+    values+=("$(ST_BENCH_THREADS="$THREADS" ST_BENCH_MS="$MS" "$binary" |
+      awk -v t="$THREADS" '$1 == t { print $5 }')")
+  done
+  printf '%s\n' "${values[@]}" | sort -n | awk '{ v[NR] = $1 } END { print v[int((NR + 1) / 2)] }'
+}
+
+echo "== building trace-off (compiled out) and default (compiled in, disarmed) =="
+build trace-off
+build default
+
+echo "== measuring fig1_list StackTrack throughput: threads=$THREADS reps=$REPS ms=$MS =="
+OFF=$(median_throughput build-trace-off/bench/fig1_list)
+ON=$(median_throughput build/bench/fig1_list)
+
+echo "trace compiled out : $OFF ops/sec (median)"
+echo "trace disarmed     : $ON ops/sec (median)"
+
+awk -v on="$ON" -v off="$OFF" -v gate="$GATE_PERCENT" 'BEGIN {
+  if (off <= 0) { print "FAIL: zero baseline throughput"; exit 1 }
+  loss = 100 * (off - on) / off
+  printf "disarmed overhead  : %.2f%% (gate: %d%%)\n", loss, gate
+  if (loss > gate) {
+    print "FAIL: disarmed tracing exceeds the overhead gate"
+    exit 1
+  }
+  print "OK: disarmed tracing is within the overhead gate"
+}'
