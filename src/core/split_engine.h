@@ -22,11 +22,14 @@
 //   }
 //
 // Observability (runtime/trace.h, DESIGN.md §6): every transition these macros drive
-// is traced when armed — ST_SEGMENT_ARM yields segment_begin or slow_path_entry (the
-// abort edge is recorded at the backend's resume point with its AbortCause),
-// ST_CHECKPOINT's commit yields checkpoint_split plus any predictor_grow/shrink, and
-// ST_OP_END yields segment_commit. The macros themselves contain no emit calls; the
-// events fire inside the StContext/backends so the expansion stays minimal.
+// is traced when armed — each fast-path arm attempt yields segment_begin (emitted in
+// PrepareSegment, *before* the begin point: an armed emit between xbegin and xend is
+// a guaranteed RTM abort, so aborted attempts show begin/abort pairs), the abort edge
+// is recorded at the backend's resume point with its AbortCause, slow segments yield
+// slow_path_entry, ST_CHECKPOINT's commit yields checkpoint_split plus any
+// predictor_grow/shrink, and ST_OP_END yields segment_commit. The macros themselves
+// contain no emit calls; the events fire inside the StContext/backends so the
+// expansion stays minimal.
 #ifndef STACKTRACK_CORE_SPLIT_ENGINE_H_
 #define STACKTRACK_CORE_SPLIT_ENGINE_H_
 

@@ -47,8 +47,12 @@ struct StatsSnapshot {
 };
 
 // Reclamation lag at one sample: nodes retired but not yet returned to the pool.
+// Saturates at 0: the sample is a racy mid-run Sum(), and a retire counted on an
+// already-summed context whose matching free lands on a not-yet-summed one (deferred
+// adoption crosses threads) can make observed frees exceed observed retires — an
+// unsigned subtraction would explode the exported series to ~1.8e19.
 inline uint64_t ReclamationLag(const StatsSnapshot& s) {
-  return s.totals.retires - s.totals.frees;
+  return s.totals.retires >= s.totals.frees ? s.totals.retires - s.totals.frees : 0;
 }
 
 // Periodic sampler of the global stats sum. Single-driver: Sample(), StartPeriodic()

@@ -152,13 +152,18 @@ bool StContext::PrepareSegment() {
     return false;
   }
   SaveRootSnapshot();
+  // Recorded before the begin point, never between xbegin and xend: when armed,
+  // EmitSlow's clock_gettime reads the vvar page, a guaranteed RTM abort (trace.cc's
+  // in-transaction guard enforces this for every site). An attempt that goes on to
+  // abort therefore still shows its segment_begin, paired with the backend's
+  // segment_abort record at the resume point.
+  trace::Emit(trace::Event::kSegmentBegin, CurrentCell().limit);
   return true;
 }
 
 void StContext::SegmentStarted() {
   steps_ = 0;
   limit_ = CurrentCell().limit;
-  trace::Emit(trace::Event::kSegmentBegin, limit_);
 }
 
 void StContext::SlowSegmentStarted() {

@@ -3,7 +3,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "runtime/trace.h"
+
 namespace stacktrack::htm {
+
+namespace {
+// Hands the trace layer a way to detect an armed emit inside a transaction — a
+// guaranteed RTM abort (clock_gettime / vvar, see rtm_backend.cc) that would silently
+// force every fast-path segment onto the slow path. InTx() covers both backends; the
+// soft backend's portable tx state makes the guard effective in CI without TSX.
+[[maybe_unused]] const bool g_trace_probe_registered = [] {
+  runtime::trace::SetInTxProbe([] { return InTx(); });
+  return true;
+}();
+}  // namespace
 
 // Implemented in rtm_backend.cc (real or stub, depending on STACKTRACK_HAVE_RTM).
 bool RtmUsableImpl();

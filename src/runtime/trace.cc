@@ -3,8 +3,17 @@
 #if defined(STACKTRACK_TRACE_ENABLED)
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace stacktrack::runtime::trace {
+
+namespace {
+// Set once by the HTM layer at static-init time (see SetInTxProbe in trace.h);
+// constinit so it is valid whenever that initializer runs.
+using InTxProbe = bool (*)();
+constinit InTxProbe g_in_tx_probe = nullptr;
+}  // namespace
 
 namespace internal {
 
@@ -25,7 +34,19 @@ std::atomic<uint64_t>& UnattributedDrops() {
 
 void Arm(bool on) { ArmedFlag().store(on, std::memory_order_release); }
 
+void SetInTxProbe(bool (*probe)()) { g_in_tx_probe = probe; }
+
 void EmitSlow(Event event, uint64_t arg) {
+  if (g_in_tx_probe != nullptr && g_in_tx_probe()) {
+    // This site would abort RTM deterministically (clock_gettime below reads the
+    // vvar page) and silently push every operation onto the slow path. The soft
+    // backend reaches this branch instead of aborting, so CI fails loudly.
+    std::fprintf(stderr,
+                 "stacktrack: armed trace emit (%s) inside a transaction; emit sites "
+                 "must not be reachable between xbegin and xend\n",
+                 EventName(event));
+    std::abort();
+  }
   const uint32_t tid = CurrentThreadId();
   if (tid >= kMaxThreads) {
     // Unregistered thread (domain teardown on main, external samplers): nowhere to
@@ -52,9 +73,12 @@ std::vector<MergedRecord> CollectMerged() {
     const uint64_t first = head > Ring::kCapacity ? head - Ring::kCapacity : 0;
     merged.reserve(merged.size() + static_cast<std::size_t>(head - first));
     for (uint64_t i = first; i < head; ++i) {
-      const Record& r = ring.at(i);
+      // Seqlock order: copy the slot first, then re-check the head. If the writer
+      // lapped slot i while we copied, the copy may be torn — discard it. Checking
+      // before the copy would leave a window for the overwrite to land mid-copy.
+      const Record r = ring.at(i);
       if (ring.head() - i > Ring::kCapacity) {
-        continue;  // overwritten while we were reading; skip the torn slot
+        continue;
       }
       MergedRecord out;
       out.ns = r.ns;

@@ -37,7 +37,9 @@ namespace stacktrack::runtime::trace {
 // that count work (kRetire, kFree) use arg as a batch size so that the sum of args
 // equals the corresponding Stats counter delta.
 enum class Event : uint16_t {
-  kSegmentBegin = 0,     // fast segment armed; arg = split limit in force
+  kSegmentBegin = 0,     // fast segment arm attempt, recorded before the transaction
+                         // begins (an armed emit inside one would abort RTM); an
+                         // aborted attempt still shows its begin. arg = split limit
   kSegmentCommit,        // final (operation-ending) commit; arg = steps executed
   kSegmentAbort,         // transactional abort; arg = htm::AbortCause
   kCheckpointSplit,      // mid-operation commit at a checkpoint; arg = steps executed
@@ -154,6 +156,14 @@ inline bool Armed() { return ArmedFlag().load(std::memory_order_relaxed); }
 
 void EmitSlow(Event event, uint64_t arg);  // out of line: tid lookup + ring store
 
+// Registers the "is the calling thread inside a transaction?" probe (the HTM layer
+// does this at static-init time). EmitSlow aborts the process when the probe answers
+// yes: an armed emit's clock_gettime reads the vvar page, a guaranteed RTM abort, so
+// an emit site reachable between xbegin and xend would silently kill every fast-path
+// segment. The soft backend tracks its transaction state portably, so the guard
+// catches a misplaced site in CI even where TSX is absent.
+void SetInTxProbe(bool (*probe)());
+
 // The one call every emit site makes. Disarmed: one relaxed load, no call.
 inline void Emit(Event event, uint64_t arg = 0) {
   if (Armed()) [[unlikely]] {
@@ -166,8 +176,9 @@ inline void Emit(Event event, uint64_t arg = 0) {
 uint64_t TotalDropped();
 
 // Racy snapshot of every thread's ring, merged and sorted by timestamp. Meant for
-// quiescent points; records written concurrently with collection may be torn and are
-// filtered by the head re-check, not guaranteed captured.
+// quiescent points; each record is copied out and then the head is re-checked
+// (seqlock order) — a copy whose slot was overwritten mid-copy may be torn and is
+// discarded. Concurrent records are not guaranteed captured.
 std::vector<MergedRecord> CollectMerged();
 
 // Drops all recorded events and drop counts. Callers must ensure no thread is
@@ -178,6 +189,7 @@ void ResetAll();
 
 inline void Arm(bool) {}
 constexpr bool Armed() { return false; }
+inline void SetInTxProbe(bool (*)()) {}
 inline void Emit(Event, uint64_t = 0) {}
 inline uint64_t TotalDropped() { return 0; }
 inline std::vector<MergedRecord> CollectMerged() { return {}; }

@@ -11,11 +11,13 @@
 #include <thread>
 #include <vector>
 
+#include "core/split_engine.h"
 #include "core/stats_export.h"
 #include "runtime/pool_alloc.h"
 #include "runtime/thread_registry.h"
 #include "runtime/trace.h"
 #include "smr/hazard.h"
+#include "smr/stacktrack_smr.h"
 
 namespace stacktrack {
 namespace {
@@ -159,6 +161,46 @@ TEST(TraceWorkloadTest, BatchEventArgsSumToCounterDeltas) {
   EXPECT_LE(snap.frees, snap.retires);
 }
 
+// Emit-site placement contract: when armed, no emit may run between the transaction
+// begin point and its commit — EmitSlow's clock_gettime is a guaranteed RTM abort.
+// The HTM layer registers an in-transaction probe with the trace layer, and EmitSlow
+// aborts the process if an armed emit fires inside a transaction; the soft backend
+// tracks its transaction state, so driving the real fast path here enforces the
+// contract portably (a misplaced site kills this test even without TSX hardware).
+TEST(TraceWorkloadTest, ArmedFastPathEmitsOutsideTransactions) {
+  runtime::ThreadScope scope;
+  ArmedScope armed;
+  core::StConfig config;
+  config.initial_split_limit = 4;
+  smr::StackTrackSmr::Domain domain(config);
+  core::StContext& ctx = domain.AcquireHandle();
+
+  const uint64_t committed_before = ctx.stats.segments_committed;
+  const uint64_t slow_before = ctx.stats.segments_slow;
+  constexpr int kOps = 8;
+  for (int op = 0; op < kOps; ++op) {
+    ST_OP_BEGIN(ctx, 0);
+    for (int bb = 0; bb < 12; ++bb) {
+      ST_CHECKPOINT(ctx);  // limit 4: several mid-op commits and re-arms per op
+    }
+    ST_OP_END(ctx);
+  }
+  trace::Arm(false);
+
+  // The ops ran transactionally — tracing must not have pushed them onto the slow
+  // path (on RTM an in-transaction emit site does exactly that, silently).
+  EXPECT_GT(ctx.stats.segments_committed - committed_before, 0u);
+  EXPECT_EQ(ctx.stats.segments_slow - slow_before, 0u);
+  // Every arm attempt logged its begin record, outside the transaction.
+  uint64_t begins = 0;
+  for (const auto& record : domain.Trace()) {
+    if (record.event == trace::Event::kSegmentBegin) {
+      ++begins;
+    }
+  }
+  EXPECT_GE(begins, static_cast<uint64_t>(kOps));
+}
+
 TEST(TraceExportTest, TraceJsonRoundTripsThroughMinijson) {
   runtime::ThreadScope scope;
   ArmedScope armed;
@@ -239,6 +281,20 @@ TEST(StatsExportTest, ReclamationLagIdentity) {
   sample.totals.retires = 100;
   sample.totals.frees = 58;
   EXPECT_EQ(core::ReclamationLag(sample), 42u);
+}
+
+// A racy mid-run Sum() can observe a free (adopted cross-thread) before its retire;
+// the lag series must saturate at 0 instead of underflowing to ~1.8e19.
+TEST(StatsExportTest, ReclamationLagSaturatesOnRacySnapshot) {
+  core::StatsSnapshot sample;
+  sample.totals.retires = 10;
+  sample.totals.frees = 13;
+  EXPECT_EQ(core::ReclamationLag(sample), 0u);
+
+  std::vector<core::StatsSnapshot> samples{sample};
+  core::minijson::Value root;
+  ASSERT_TRUE(core::minijson::Parse(core::TimelineToJson(samples), &root));
+  EXPECT_EQ(root.Find("samples")->array[0].Find("lag")->AsU64(), 0u);
 }
 
 }  // namespace
