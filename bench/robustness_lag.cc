@@ -1,0 +1,463 @@
+// Bounded-garbage acceptance benchmark: reclamation lag ceilings under thread
+// stalls and thread death, per scheme (the robustness contract DESIGN.md §5c and the
+// README scheme table promise, gated in CI by tools/check_reclaim_lag.sh).
+//
+// N-1 workers plus one victim churn a lock-free list. Mid-run the fault injector
+// stalls the victim (kThreadStall gate, released before the end) or kills it (the
+// gate is held through the whole measurement — to every scanner that is a dead
+// thread: mid-operation, roots exposed, never advancing, never cleaning up). A
+// sampler thread records the scheme's reclamation lag
+// (retires - frees, core/stats_export.h ReclamationLag) throughout; the JSON report
+// carries the peak and final lag for the gate.
+//
+// Scheme-by-scheme expectations, measured here:
+//  * stacktrack-service — StackTrack with the asynchronous ReclaimService. Tight
+//    ceiling in BOTH scenarios: reclaimers conservatively skip the stalled/dead
+//    victim (bounded inspection) and keep freeing what liveness allows.
+//  * stacktrack — inline baseline, reported for contrast (mutators absorb the scan
+//    cost themselves; same bounded-garbage property, worse hot path).
+//  * hyaline — never waits and never scans; lag grows only with retires inserted
+//    during a stall window and drains on release. Death is its documented gap: a
+//    victim killed INSIDE an operation would leak every later batch (plain
+//    Hyaline-1 is not death-robust), so the death scenario kills hyaline's victim
+//    at an operation boundary — death outside a critical section delays nothing.
+//
+// Usage: robustness_lag [--scheme=S] [--scenario=stall|death|none] [--threads=N]
+//                       [--ms=N] [--smoke] [--freepath] [--json]
+//   --smoke     short windows for CI (also honors ST_BENCH_MS)
+//   --freepath  instead of scenarios, measure the mutator-side cost of free():
+//               ns/op for inline StackTrack vs. StackTrack+service (hot-path win)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/reclaim_service.h"
+#include "core/stats_export.h"
+#include "ds/list.h"
+#include "runtime/fault.h"
+#include "runtime/pool_alloc.h"
+#include "smr/hyaline.h"
+#include "smr/stacktrack_smr.h"
+
+namespace stacktrack::bench {
+namespace {
+
+namespace fault = runtime::fault;
+
+struct Options {
+  std::string scheme = "all";    // stacktrack | stacktrack-service | hyaline | all
+  std::string scenario = "stall";  // stall | death | none
+  uint32_t threads = 4;
+  uint32_t duration_ms = 400;
+  uint32_t stall_ms = 100;  // how long the victim stays parked / when it dies
+  bool smoke = false;
+  bool freepath = false;
+  bool json = false;
+};
+
+struct LagReport {
+  uint64_t max_lag = 0;     // max(sampler peak, guaranteed mid-fault sample)
+  uint64_t final_lag = 0;   // after the run and a drain attempt
+  uint64_t retires = 0;
+  uint64_t frees = 0;
+  uint64_t ops = 0;
+  core::Stats service_delta{};  // registry delta (StackTrack runs only)
+};
+
+// Samples domain.Snapshot() on a sidecar thread; ReclamationLag over the samples
+// gives the ceiling the scheme allowed during the faulted window.
+template <typename Domain>
+class LagProbe {
+ public:
+  explicit LagProbe(Domain& domain) : domain_(domain) {
+    sampler_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_acquire)) {
+        Sample();
+        usleep(500);
+      }
+      Sample();
+    });
+  }
+  uint64_t Finish() {
+    stop_.store(true, std::memory_order_release);
+    sampler_.join();
+    return max_lag_;
+  }
+
+ private:
+  void Sample() {
+    core::StatsSnapshot snap;
+    snap.ns = runtime::trace::NowNanos();
+    snap.totals = domain_.Snapshot();
+    const uint64_t lag = core::ReclamationLag(snap);
+    if (lag > max_lag_) {
+      max_lag_ = lag;
+    }
+  }
+
+  Domain& domain_;
+  std::atomic<bool> stop_{false};
+  uint64_t max_lag_ = 0;
+  std::thread sampler_;
+};
+
+// One faulted run. The victim participates in the workload until the scenario
+// removes it: `stall` parks it at a traversal preempt point for stall_ms and then
+// releases it (the rest of the run shows the backlog draining); `death` removes it
+// for the remainder of the run — mid-operation with roots exposed for StackTrack
+// schemes (the gate is held until after the measurement window, which is
+// indistinguishable from death to every scanner), at an operation boundary for
+// hyaline (see the header comment for why).
+template <typename Smr>
+LagReport RunScenario(const Options& opt, typename Smr::Domain& domain,
+                      bool victim_dies_mid_op) {
+  ds::LockFreeList<Smr> list;
+  const uint32_t workers = opt.threads > 1 ? opt.threads - 1 : 1;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> die_at_boundary{false};
+  std::atomic<uint32_t> victim_tid{runtime::kInvalidThreadId};
+  std::atomic<uint64_t> total_ops{0};
+  runtime::SpinBarrier barrier(workers + 2);
+
+  const core::Stats registry_before = core::StatsRegistry::Instance().Sum();
+  LagReport report;
+  {
+    LagProbe<typename Smr::Domain> probe(domain);
+    std::vector<std::thread> threads;
+
+    auto churn = [&](auto& handle, runtime::Xorshift128& rng) {
+      const uint64_t key = 1 + rng.NextBounded(512);
+      const uint64_t dice = rng.NextBounded(100);
+      if (dice < 30) {
+        list.Insert(handle, key, key);
+      } else if (dice < 60) {
+        list.Remove(handle, key);
+      } else {
+        list.Contains(handle, key);
+      }
+    };
+
+    // Victim thread. Boundary death (hyaline) checks the flag between operations
+    // and abandons the workload without inserting its pending batch; gate-based
+    // faults (stall, mid-op death) park it inside the next traversal.
+    threads.emplace_back([&] {
+      runtime::ThreadScope scope;
+      auto& handle = domain.AcquireHandle();
+      runtime::Xorshift128 rng(0x71c71c71ULL);
+      victim_tid.store(scope.tid(), std::memory_order_release);
+      barrier.Wait();
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (die_at_boundary.load(std::memory_order_acquire)) {
+          return;  // dead: no handoff, no cleanup, pending retirements stranded
+        }
+        churn(handle, rng);
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+
+    for (uint32_t t = 0; t < workers; ++t) {
+      threads.emplace_back([&, t] {
+        runtime::ThreadScope scope;
+        auto& handle = domain.AcquireHandle();
+        runtime::Xorshift128 rng(0x5eedULL ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+        barrier.Wait();
+        uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          churn(handle, rng);
+          ++ops;
+        }
+        total_ops.fetch_add(ops, std::memory_order_relaxed);
+      });
+    }
+
+    barrier.Wait();
+    usleep(1000 * (opt.duration_ms / 4));  // warmup before the fault lands
+    const uint32_t victim = victim_tid.load(std::memory_order_acquire);
+    // The sidecar sampler can be starved on a 1-core host; this samples the lag at
+    // the moments that matter (deep in the fault window) from the orchestrator.
+    auto sample_lag = [&domain, &report] {
+      core::StatsSnapshot s;
+      s.ns = runtime::trace::NowNanos();
+      s.totals = domain.Snapshot();
+      const uint64_t lag = core::ReclamationLag(s);
+      if (lag > report.max_lag) {
+        report.max_lag = lag;
+      }
+    };
+    bool gate_held = false;
+    if (opt.scenario == "stall" || (opt.scenario == "death" && victim_dies_mid_op)) {
+      fault::ArmGate(fault::Site::kThreadStall, victim);
+      gate_held = true;
+      for (uint32_t waited = 0; waited < 2000 && !fault::IsStalled(victim);
+           ++waited) {
+        usleep(100);
+      }
+      if (opt.scenario == "stall") {
+        // Hold the victim parked mid-traversal for the stall window, then release;
+        // the remaining run time shows the backlog draining. (On a 1-core host the
+        // absolute peak is modest — the parked victim frees up CPU for nothing but
+        // the orchestrator — but frees flatline for the whole window; the robust
+        // acceptance signal is final_lag draining back to ~0 afterwards.)
+        usleep(1000 * opt.stall_ms);
+        sample_lag();
+        fault::ReleaseGate(fault::Site::kThreadStall);
+        gate_held = false;
+      }
+      // death: the gate stays held through the whole measurement — the victim
+      // never makes another step, never reaches OpEnd, never runs cleanup.
+    } else if (opt.scenario == "death") {
+      die_at_boundary.store(true, std::memory_order_release);
+    }
+    usleep(1000 * (opt.duration_ms - opt.duration_ms / 4));
+    sample_lag();
+    stop.store(true, std::memory_order_release);
+    if (gate_held) {
+      fault::ReleaseGate(fault::Site::kThreadStall);  // only so join() can succeed
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    fault::DisarmAll();
+    report.max_lag = std::max(report.max_lag, probe.Finish());
+  }
+
+  core::StatsSnapshot snap;
+  snap.ns = runtime::trace::NowNanos();
+  snap.totals = domain.Snapshot();
+  report.final_lag = core::ReclamationLag(snap);
+  report.retires = snap.totals.retires;
+  report.frees = snap.totals.frees;
+  report.ops = total_ops.load(std::memory_order_relaxed);
+  core::Stats registry_after = core::StatsRegistry::Instance().Sum();
+  const uint64_t* before = reinterpret_cast<const uint64_t*>(&registry_before);
+  uint64_t* after = reinterpret_cast<uint64_t*>(&registry_after);
+  for (std::size_t i = 0; i < sizeof(core::Stats) / sizeof(uint64_t); ++i) {
+    after[i] -= before[i];
+  }
+  report.service_delta = registry_after;
+  return report;
+}
+
+void PrintReport(const Options& opt, const char* scheme, const LagReport& r) {
+  if (opt.json) {
+    std::printf(
+        "{\"scheme\":\"%s\",\"scenario\":\"%s\",\"threads\":%u,\"ms\":%u,"
+        "\"ops\":%llu,\"retires\":%llu,\"frees\":%llu,\"max_lag\":%llu,"
+        "\"final_lag\":%llu,\"service_batches\":%llu,\"steals\":%llu,"
+        "\"failovers\":%llu,\"inline_fallbacks\":%llu}\n",
+        scheme, opt.scenario.c_str(), opt.threads, opt.duration_ms,
+        static_cast<unsigned long long>(r.ops),
+        static_cast<unsigned long long>(r.retires),
+        static_cast<unsigned long long>(r.frees),
+        static_cast<unsigned long long>(r.max_lag),
+        static_cast<unsigned long long>(r.final_lag),
+        static_cast<unsigned long long>(r.service_delta.service_batches),
+        static_cast<unsigned long long>(r.service_delta.steals),
+        static_cast<unsigned long long>(r.service_delta.failovers),
+        static_cast<unsigned long long>(r.service_delta.inline_fallbacks));
+  } else {
+    std::printf("%-20s %-6s ops=%-10llu retires=%-9llu frees=%-9llu max_lag=%-7llu "
+                "final_lag=%llu\n",
+                scheme, opt.scenario.c_str(),
+                static_cast<unsigned long long>(r.ops),
+                static_cast<unsigned long long>(r.retires),
+                static_cast<unsigned long long>(r.frees),
+                static_cast<unsigned long long>(r.max_lag),
+                static_cast<unsigned long long>(r.final_lag));
+  }
+}
+
+void RunStackTrack(const Options& opt, bool with_service) {
+  core::StConfig cfg;
+  cfg.hashed_scan = true;
+  core::ReclaimService service;  // constructed either way; started conditionally
+  if (with_service) {
+    service.Start();
+  }
+  LagReport report;
+  {
+    smr::StackTrackSmr::Domain domain(cfg);
+    report = RunScenario<smr::StackTrackSmr>(opt, domain, /*mid_op_death=*/true);
+    if (with_service) {
+      service.Stop();  // drains rings before the domain (and its contexts) go away
+    }
+    core::StatsSnapshot snap;
+    snap.ns = runtime::trace::NowNanos();
+    snap.totals = domain.Snapshot();
+    report.final_lag = core::ReclamationLag(snap);
+    report.frees = snap.totals.frees;
+  }
+  PrintReport(opt, with_service ? "stacktrack-service" : "stacktrack", report);
+}
+
+void RunHyaline(const Options& opt) {
+  LagReport report;
+  {
+    smr::HyalineSmr::Domain domain;
+    report = RunScenario<smr::HyalineSmr>(opt, domain, /*mid_op_death=*/false);
+  }
+  PrintReport(opt, "hyaline", report);
+}
+
+// Hot-path microbenchmark: per-call free() latency with the service consuming
+// (enqueue-only mutator path) vs. the inline engine (the mutator pays for every
+// threshold scan itself). The interesting signal is the TAIL: inline free() is
+// cheap until the scan_threshold-th call, which absorbs a whole root scan; with
+// the service the mutator cost is a flat ring push. Mean throughput on a 1-core
+// host also charges the reclaimer's CPU time to the wall clock, so means can
+// favor inline there — p99/max are the honest hot-path comparison.
+struct FreePathSample {
+  double mean_ns = 0.0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+void RunFreePath(const Options& opt) {
+  constexpr uint32_t kFrees = 200000;
+  const uint32_t n = opt.smoke ? kFrees / 10 : kFrees;
+  auto measure = [&](bool with_service) -> FreePathSample {
+    core::StConfig cfg;
+    cfg.hashed_scan = true;
+    // Size the hand-off ring for the burst (its purpose): with the ring absorbing
+    // every free, the mutator path is a pure enqueue and the scans all happen on
+    // the reclaimer. A production deployment sizes rings for its burst rate the
+    // same way. Lag back-pressure would also refuse offers mid-burst; the bench
+    // raises the threshold so the hot path is measured, not the governor.
+    core::ReclaimServiceConfig svc_cfg;
+    svc_cfg.reclaimers = 1;
+    svc_cfg.ring_capacity = n;  // rounded up to a power of two by the service
+    svc_cfg.lag_threshold = 4ull * n;
+    core::ReclaimService service(svc_cfg);
+    if (with_service) {
+      service.Start();
+    }
+    FreePathSample sample;
+    {
+      smr::StackTrackSmr::Domain domain(cfg);
+      runtime::ThreadScope scope;
+      auto& handle = domain.AcquireHandle();
+      (void)handle;
+      auto& ctx = *core::ActivityArray::Instance().Get(scope.tid());
+      auto& pool = runtime::PoolAllocator::Instance();
+      std::vector<void*> nodes;
+      nodes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        nodes.push_back(pool.Alloc(64));
+      }
+      std::vector<uint64_t> lat(n);
+      uint64_t total = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t begin = runtime::trace::NowNanos();
+        ctx.Free(nodes[i]);
+        const uint64_t end = runtime::trace::NowNanos();
+        lat[i] = end - begin;
+        total += lat[i];
+      }
+      ctx.FlushFrees();
+      std::sort(lat.begin(), lat.end());
+      sample.mean_ns = static_cast<double>(total) / n;
+      sample.p50_ns = lat[n / 2];
+      sample.p99_ns = lat[n - 1 - n / 100];
+      sample.max_ns = lat[n - 1];
+      if (with_service) {
+        service.Stop();
+      }
+    }
+    return sample;
+  };
+  const FreePathSample inl = measure(false);
+  const FreePathSample svc = measure(true);
+  const double tail_win =
+      svc.p99_ns > 0 ? static_cast<double>(inl.p99_ns) / svc.p99_ns : 0.0;
+  if (opt.json) {
+    std::printf(
+        "{\"freepath\":{\"inline\":{\"mean_ns\":%.1f,\"p50_ns\":%llu,"
+        "\"p99_ns\":%llu,\"max_ns\":%llu},\"service\":{\"mean_ns\":%.1f,"
+        "\"p50_ns\":%llu,\"p99_ns\":%llu,\"max_ns\":%llu},"
+        "\"p99_win\":%.2f}}\n",
+        inl.mean_ns, static_cast<unsigned long long>(inl.p50_ns),
+        static_cast<unsigned long long>(inl.p99_ns),
+        static_cast<unsigned long long>(inl.max_ns), svc.mean_ns,
+        static_cast<unsigned long long>(svc.p50_ns),
+        static_cast<unsigned long long>(svc.p99_ns),
+        static_cast<unsigned long long>(svc.max_ns), tail_win);
+  } else {
+    std::printf("free() inline : mean %.1f ns p50 %llu p99 %llu max %llu\n",
+                inl.mean_ns, static_cast<unsigned long long>(inl.p50_ns),
+                static_cast<unsigned long long>(inl.p99_ns),
+                static_cast<unsigned long long>(inl.max_ns));
+    std::printf("free() service: mean %.1f ns p50 %llu p99 %llu max %llu "
+                "(p99 win %.2fx)\n",
+                svc.mean_ns, static_cast<unsigned long long>(svc.p50_ns),
+                static_cast<unsigned long long>(svc.p99_ns),
+                static_cast<unsigned long long>(svc.max_ns), tail_win);
+  }
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.compare(0, std::strlen(prefix), prefix) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = value("--scheme=")) != nullptr) {
+      opt.scheme = v;
+    } else if ((v = value("--scenario=")) != nullptr) {
+      opt.scenario = v;
+    } else if ((v = value("--threads=")) != nullptr) {
+      opt.threads = static_cast<uint32_t>(std::atoi(v));
+    } else if ((v = value("--ms=")) != nullptr) {
+      opt.duration_ms = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--freepath") {
+      opt.freepath = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.smoke) {
+    opt.duration_ms = EnvMs(200);
+    opt.stall_ms = opt.duration_ms / 4;
+  }
+  InstallCrashHandler();
+
+  if (opt.freepath) {
+    RunFreePath(opt);
+    return 0;
+  }
+  if (!opt.json) {
+    std::printf("# robustness_lag: scenario=%s threads=%u ms=%u stall_ms=%u\n",
+                opt.scenario.c_str(), opt.threads, opt.duration_ms, opt.stall_ms);
+  }
+  if (opt.scheme == "stacktrack" || opt.scheme == "all") {
+    RunStackTrack(opt, /*with_service=*/false);
+  }
+  if (opt.scheme == "stacktrack-service" || opt.scheme == "all") {
+    RunStackTrack(opt, /*with_service=*/true);
+  }
+  if (opt.scheme == "hyaline" || opt.scheme == "all") {
+    RunHyaline(opt);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stacktrack::bench
+
+int main(int argc, char** argv) { return stacktrack::bench::Main(argc, argv); }

@@ -54,6 +54,13 @@ struct Stats {
   uint64_t snapshot_reuses = 0;      // scans answered by a validated published table
   uint64_t snapshot_stale = 0;       // reuse attempts rejected by the generation check
   uint64_t snapshot_incomplete = 0;  // collections that could not prove completeness
+  // Asynchronous reclamation service (core/reclaim_service.h). service_batches and
+  // steals count on the reclaimer contexts; failovers on whichever reclaimer detected
+  // the dead peer; inline_fallbacks on the mutator that had to scan for itself.
+  uint64_t service_batches = 0;      // hand-off ring batches consumed by reclaimers
+  uint64_t steals = 0;               // batches drained from another reclaimer's shard
+  uint64_t failovers = 0;            // stalled/dead reclaimers failed over to a peer
+  uint64_t inline_fallbacks = 0;     // mutator frees that fell back to inline scanning
 
   Stats& operator+=(const Stats& other) {
     const uint64_t* src = reinterpret_cast<const uint64_t*>(&other);

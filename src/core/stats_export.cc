@@ -48,6 +48,10 @@ constexpr StatsField kStatsFields[] = {
     {"snapshot_reuses", &Stats::snapshot_reuses},
     {"snapshot_stale", &Stats::snapshot_stale},
     {"snapshot_incomplete", &Stats::snapshot_incomplete},
+    {"service_batches", &Stats::service_batches},
+    {"steals", &Stats::steals},
+    {"failovers", &Stats::failovers},
+    {"inline_fallbacks", &Stats::inline_fallbacks},
 };
 
 constexpr std::size_t kStatsFieldCount = sizeof(kStatsFields) / sizeof(kStatsFields[0]);

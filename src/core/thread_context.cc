@@ -6,6 +6,7 @@
 
 #include "core/free_proc.h"
 #include "core/reclaim_engine.h"
+#include "core/reclaim_service.h"
 #include "runtime/backoff.h"
 #include "runtime/fault.h"
 #include "runtime/trace.h"
@@ -340,10 +341,7 @@ void StContext::OpEnd() {
   attempt_fails_ = 0;
 
   NoteFreeSetSize();
-  if (free_set_.size() >= scan_threshold_) {
-    ReclaimEngine::Run(*this, config_.hashed_scan ? ScanMode::kSnapshot
-                                                  : ScanMode::kPerCandidate);
-  }
+  MaybeReclaim();
 }
 
 void StContext::Retire(void* ptr, uint64_t /*key*/) { tx_retire_.push_back(ptr); }
@@ -353,6 +351,24 @@ void StContext::Free(void* ptr) {
   ++stats.retires;
   trace::Emit(trace::Event::kRetire, 1);
   NoteFreeSetSize();
+  MaybeReclaim();
+}
+
+void StContext::MaybeReclaim() {
+  if (ReclaimService* service = ReclaimService::Active()) {
+    const std::size_t accepted =
+        service->OfferBatch(tid_, free_set_.data(), free_set_.size());
+    if (accepted != 0) {
+      free_set_.erase(free_set_.begin(),
+                      free_set_.begin() + static_cast<std::ptrdiff_t>(accepted));
+    }
+    if (free_set_.size() < scan_threshold_) {
+      return;
+    }
+    // Ring full or back-pressure engaged: the service is saturated, so this thread
+    // pays for its own scan, exactly as it would without a service.
+    ++stats.inline_fallbacks;
+  }
   if (free_set_.size() >= scan_threshold_) {
     ReclaimEngine::Run(*this, config_.hashed_scan ? ScanMode::kSnapshot
                                                   : ScanMode::kPerCandidate);

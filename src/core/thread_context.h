@@ -324,6 +324,10 @@ class StContext {
   }
 
   PredictorCell& CurrentCell();
+  // Post-retire disposition: offer the free set to the active ReclaimService
+  // (near-constant-time ring enqueue); whatever the service refuses falls back to
+  // the inline threshold scan (stats.inline_fallbacks).
+  void MaybeReclaim();
   void SaveRootSnapshot();
   void RestoreRootSnapshot();
   void ExposeRegisters();   // seqlock odd -> copy -> (caller completes) seqlock even

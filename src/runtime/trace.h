@@ -56,6 +56,9 @@ enum class Event : uint16_t {
   kBackpressureRaise,    // scan threshold doubled; arg = new threshold
   kBackpressureSpill,    // survivors handed to DeferredFreeList; arg = accepted count
   kWatchdogReport,       // thread newly flagged as stalled; arg = its tid
+  kServiceHandoff,       // reclaimer drained a hand-off ring batch; arg = batch count
+  kServiceSteal,         // reclaimer drained a ring outside its shards; arg = ring tid
+  kServiceFailover,      // stalled/dead reclaimer failed over; arg = reclaimer index
   kCount,
 };
 
@@ -78,6 +81,9 @@ constexpr const char* EventName(Event e) {
     case Event::kBackpressureRaise: return "backpressure_raise";
     case Event::kBackpressureSpill: return "backpressure_spill";
     case Event::kWatchdogReport: return "watchdog_report";
+    case Event::kServiceHandoff: return "service_handoff";
+    case Event::kServiceSteal: return "service_steal";
+    case Event::kServiceFailover: return "service_failover";
     case Event::kCount: break;
   }
   return "unknown";

@@ -25,6 +25,7 @@
 #include "smr/dta.h"
 #include "smr/epoch.h"
 #include "smr/hazard.h"
+#include "smr/hyaline.h"
 #include "smr/leaky.h"
 #include "smr/smr.h"
 #include "smr/stacktrack_smr.h"

@@ -457,5 +457,94 @@ TEST_F(FaultTest, StalledThreadWorkloadStaysBoundedAndDrains) {
       << "nodes stranded after the stall cleared";
 }
 
+// Regression: a thread that honors a kThreadDeath request (abandons its workload
+// loop at a preempt point and exits without any explicit cleanup) must still have its
+// magazines and free set adopted — the registry exit-hook chain is the only teardown
+// that runs, exactly as in the harness death scenarios. A victim whose exit scan is
+// fully conservative (kSplitsBump gate) strands its free set in the deferred list;
+// its magazine-cached blocks must flow back to the shared free lists.
+TEST_F(FaultTest, DeathRequestedThreadHandsOverMagazinesAndFreeSet) {
+  runtime::ThreadScope scope;
+  core::StConfig config;
+  config.max_free = 4;
+  config.inspect_retry_cap = 2;
+  smr::StackTrackSmr::Domain domain(config);
+  domain.AcquireHandle();  // main's context gives the exit scan a peer to inspect
+
+  auto& pool = runtime::PoolAllocator::Instance();
+  const auto pool_before = pool.GetStats();
+  constexpr int kFreeSet = 8;
+  constexpr int kCached = 8;
+  void* free_set_blocks[kFreeSet] = {};
+
+  fault::ArmGate(Site::kSplitsBump);  // the victim's exit scan keeps everything
+  std::atomic<uint32_t> victim_tid{runtime::kInvalidThreadId};
+  std::atomic<bool> armed{false};
+  std::thread victim([&] {
+    runtime::ThreadScope inner;
+    core::StContext& ctx = domain.AcquireHandle();
+    // Populate this thread's magazine with cached free blocks...
+    void* scratch[kCached];
+    for (void*& s : scratch) {
+      s = pool.Alloc(96);
+    }
+    for (void* s : scratch) {
+      pool.Free(s);
+    }
+    // ...and its free set with live retirements.
+    for (void*& b : free_set_blocks) {
+      b = pool.Alloc(32);
+      ctx.MutableFreeSet().push_back(b);
+    }
+    victim_tid.store(inner.tid(), std::memory_order_release);
+    while (!armed.load(std::memory_order_acquire)) {
+      sched_yield();
+    }
+    while (!fault::DeathRequested()) {
+      runtime::PreemptPoint();  // the thread fault point evaluates kThreadDeath
+      sched_yield();
+    }
+    // Cooperative death: return with no explicit cleanup. ThreadScope deregistration
+    // (exit-hook chain: context reap + magazine flush) is all the teardown there is.
+  });
+  while (victim_tid.load(std::memory_order_acquire) == runtime::kInvalidThreadId) {
+    sched_yield();
+  }
+  fault::ArmNthVisit(Site::kThreadDeath, /*first=*/1, /*period=*/0, 0,
+                     victim_tid.load(std::memory_order_acquire));
+  armed.store(true, std::memory_order_release);
+  victim.join();
+  EXPECT_NE(fault::DeathMask() &
+                (uint64_t{1} << victim_tid.load(std::memory_order_acquire)),
+            0u)
+      << "the victim should have died via the injected request";
+  fault::Disarm(Site::kThreadDeath);
+  fault::Disarm(Site::kSplitsBump);
+
+  // Free set adopted: the conservative exit scan stranded it in the deferred list;
+  // any live thread's next handoff reclaims it.
+  EXPECT_GT(core::DeferredFreeList::Instance().Size(), 0u);
+  core::StContext& reclaimer = domain.AcquireHandle();
+  reclaimer.HandOffFreeSet();
+  EXPECT_EQ(core::DeferredFreeList::Instance().Size(), 0u);
+  for (void* b : free_set_blocks) {
+    EXPECT_FALSE(pool.OwnsLive(b)) << "free-set block not reclaimed after adoption";
+  }
+  EXPECT_EQ(pool.GetStats().live_objects, pool_before.live_objects);
+
+  // Magazines adopted: the victim's cached blocks went back to the shared lists, so
+  // re-allocating the same footprint reuses them instead of mapping new memory.
+  const std::size_t mapped_before = pool.GetStats().bytes_mapped;
+  void* reuse[kCached];
+  for (void*& r : reuse) {
+    r = pool.Alloc(96);
+  }
+  EXPECT_EQ(pool.GetStats().bytes_mapped, mapped_before)
+      << "reallocating the dead thread's footprint should not map new memory";
+  for (void* r : reuse) {
+    pool.Free(r);
+  }
+}
+
 }  // namespace
 }  // namespace stacktrack
