@@ -17,11 +17,24 @@ struct Stats {
   uint64_t segments_committed = 0;   // fast-path segment commits
   uint64_t segments_slow = 0;        // segments executed on the software slow path
   uint64_t steps_committed = 0;      // basic blocks inside committed segments
-  // Abort taxonomy (counted per failed fast-path attempt).
+  // Abort taxonomy (counted per failed fast-path attempt). aborts_conflict covers
+  // every conflict-family cause; the reader/writer splits below refine it when the
+  // 2PL engine attributes the conflicting party (lazy validation cannot, so they
+  // stay 0 under ST_STM=lazy).
   uint64_t aborts_conflict = 0;
   uint64_t aborts_capacity = 0;
   uint64_t aborts_explicit = 0;
   uint64_t aborts_other = 0;
+  uint64_t aborts_conflict_reader = 0;  // writer yielded the orec to an older reader
+  uint64_t aborts_conflict_writer = 0;  // blocked by / doomed in favor of an older writer
+  // Software-engine internals, drained from htm::ConsumeStmCounters() at segment
+  // boundaries. Waits count spins against a held stripe/orec; handoffs count 2PL
+  // priority-token resolutions (a younger holder doomed in the winner's favor);
+  // the eager/commit split locates where conflict aborts were raised.
+  uint64_t stm_orec_waits = 0;
+  uint64_t stm_priority_handoffs = 0;
+  uint64_t stm_eager_conflict_aborts = 0;
+  uint64_t stm_commit_conflict_aborts = 0;
   // Split-length predictor activity.
   uint64_t predictor_increases = 0;
   uint64_t predictor_decreases = 0;

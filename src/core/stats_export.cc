@@ -23,6 +23,12 @@ constexpr StatsField kStatsFields[] = {
     {"aborts_capacity", &Stats::aborts_capacity},
     {"aborts_explicit", &Stats::aborts_explicit},
     {"aborts_other", &Stats::aborts_other},
+    {"aborts_conflict_reader", &Stats::aborts_conflict_reader},
+    {"aborts_conflict_writer", &Stats::aborts_conflict_writer},
+    {"stm_orec_waits", &Stats::stm_orec_waits},
+    {"stm_priority_handoffs", &Stats::stm_priority_handoffs},
+    {"stm_eager_conflict_aborts", &Stats::stm_eager_conflict_aborts},
+    {"stm_commit_conflict_aborts", &Stats::stm_commit_conflict_aborts},
     {"predictor_increases", &Stats::predictor_increases},
     {"predictor_decreases", &Stats::predictor_decreases},
     {"retires", &Stats::retires},

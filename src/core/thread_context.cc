@@ -15,6 +15,21 @@ namespace stacktrack::core {
 
 namespace trace = runtime::trace;
 
+namespace {
+
+// Drains the htm layer's per-thread engine counters (stripe/orec waits, priority
+// handoffs, eager-vs-commit conflict split) into this context's Stats block. Called
+// at segment boundaries — the engines only touch thread-local state in between.
+void FoldStmCounters(Stats& stats) {
+  const htm::StmTxCounters counters = htm::ConsumeStmCounters();
+  stats.stm_orec_waits += counters.orec_waits;
+  stats.stm_priority_handoffs += counters.priority_handoffs;
+  stats.stm_eager_conflict_aborts += counters.eager_conflict_aborts;
+  stats.stm_commit_conflict_aborts += counters.commit_conflict_aborts;
+}
+
+}  // namespace
+
 // ---- RefSet --------------------------------------------------------------------
 
 uint32_t RefSet::Add(uintptr_t value) {
@@ -190,6 +205,16 @@ void StContext::SegmentAborted(int cause) {
     case static_cast<int>(htm::AbortCause::kConflict):
       ++stats.aborts_conflict;
       break;
+    case static_cast<int>(htm::AbortCause::kConflictReader):
+      // 2PL refinements stay part of the conflict family for the predictor and the
+      // Fig. 3 taxonomy, with the conflicting party recorded on the side.
+      ++stats.aborts_conflict;
+      ++stats.aborts_conflict_reader;
+      break;
+    case static_cast<int>(htm::AbortCause::kConflictWriter):
+      ++stats.aborts_conflict;
+      ++stats.aborts_conflict_writer;
+      break;
     case static_cast<int>(htm::AbortCause::kCapacity):
       ++stats.aborts_capacity;
       break;
@@ -200,6 +225,7 @@ void StContext::SegmentAborted(int cause) {
       ++stats.aborts_other;
       break;
   }
+  FoldStmCounters(stats);
 
   PredictorCell& cell = CurrentCell();
   cell.consec_commits = 0;
@@ -215,7 +241,7 @@ void StContext::SegmentAborted(int cause) {
   }
   ++attempt_fails_;
 
-  if (cause == static_cast<int>(htm::AbortCause::kConflict)) {
+  if (htm::IsConflictCause(static_cast<htm::AbortCause>(cause))) {
     runtime::ExponentialBackoff backoff(8, 256);
     for (uint32_t i = 0; i < attempt_fails_ && i < 4; ++i) {
       backoff.Pause();
@@ -339,6 +365,7 @@ void StContext::OpEnd() {
   op_active_ = false;
   op_forced_slow_ = false;
   attempt_fails_ = 0;
+  FoldStmCounters(stats);
 
   NoteFreeSetSize();
   MaybeReclaim();

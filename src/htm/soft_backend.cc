@@ -22,7 +22,17 @@ void ResetTx(TxDesc& tx) {
   tx.write_count = 0;
 }
 
-[[noreturn]] void AbortTx(TxDesc& tx, int cause) {
+// `eager` distinguishes aborts raised at the access site from commit-time ones in
+// the per-engine counters; for this lazy engine almost every conflict is commit-time.
+[[noreturn]] void AbortTx(TxDesc& tx, int cause, bool eager = false) {
+  const uint64_t footprint = tx.read_count + tx.write_count;
+  if (tx.stats.max_footprint < footprint) {
+    tx.stats.max_footprint = footprint;
+  }
+  if (cause == kCauseConflict) {
+    StmTxCounters& counters = CurrentStmCounters();
+    eager ? ++counters.eager_conflict_aborts : ++counters.commit_conflict_aborts;
+  }
   tx.active = false;
   ResetTx(tx);
   std::longjmp(tx.env, cause);
@@ -50,18 +60,40 @@ int BeginPoint(int jmp_rc) {
   tx.capacity_limit = model.CapacityLinesNow();
   tx.spurious_prob = model.SpuriousAbortProbNow();
   tx.spurious_enabled = tx.spurious_prob > 0.0;
+  tx.fast_read_limit =
+      tx.spurious_enabled
+          ? 0
+          : (tx.capacity_limit < kReadLogEntries ? tx.capacity_limit
+                                                 : static_cast<uint32_t>(kReadLogEntries));
   if (runtime::fault::ShouldFire(runtime::fault::Site::kSoftTxAbort)) [[unlikely]] {
     // Forced abort right after begin, driving the caller's retry/escalation path.
     // The site payload selects the reported cause (default: conflict).
     const uint64_t payload = runtime::fault::Payload(runtime::fault::Site::kSoftTxAbort);
-    AbortTx(tx, payload != 0 ? static_cast<int>(payload) : kCauseConflict);
+    AbortTx(tx, payload != 0 ? static_cast<int>(payload) : kCauseConflict,
+            /*eager=*/true);
   }
   return 0;
+}
+
+uint64_t TxLoadWordChecked(uint64_t value, uint32_t stripe, uint64_t version) {
+  TxDesc& tx = tls_tx;
+  const uint32_t index = tx.read_count;
+  if (index >= kReadLogEntries || index >= tx.capacity_limit) {
+    AbortTx(tx, kCauseCapacity);
+  }
+  tx.read_log[index] = ReadEntry{stripe, version};
+  tx.read_count = index + 1;
+  ++tx.stats.loads;
+  if (tx.spurious_enabled && tx.rng.NextBool(tx.spurious_prob)) [[unlikely]] {
+    AbortTx(tx, kCauseOther);
+  }
+  return value;
 }
 
 uint64_t TxLoadWordContended(const std::atomic<uint64_t>* addr) {
   TxDesc& tx = tls_tx;
   const uint32_t stripe = StripeIndexOf(reinterpret_cast<uintptr_t>(addr));
+  ++CurrentStmCounters().orec_waits;
   runtime::ExponentialBackoff backoff;
   // A committer holds the line; it releases quickly unless we are preempted. Persisting
   // contention is reported as a conflict abort, as HTM would.
@@ -75,11 +107,12 @@ uint64_t TxLoadWordContended(const std::atomic<uint64_t>* addr) {
       }
       tx.read_log[index] = ReadEntry{stripe, version};
       tx.read_count = index + 1;
+      ++tx.stats.loads;
       return value;
     }
     backoff.Pause();
   }
-  AbortTx(tx, kCauseConflict);
+  AbortTx(tx, kCauseConflict, /*eager=*/true);
 }
 
 void AbortCapacity() { AbortTx(tls_tx, kCauseCapacity); }

@@ -35,9 +35,12 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "htm/stm_stats.h"
 #include "runtime/rand.h"
 
 namespace stacktrack::htm::soft {
+
+using TxStats = ::stacktrack::htm::TxStats;
 
 // Stripe values encode (version << 1) | locked.
 inline constexpr uint64_t kStripeLockBit = 1;
@@ -59,16 +62,12 @@ struct WriteLogEntry {
   uint64_t value;
 };
 
-struct TxStats {
-  uint64_t loads = 0;
-  uint64_t stores = 0;
-  uint64_t max_footprint = 0;
-};
-
 struct TxDesc {
   std::jmp_buf env;  // armed by the begin-point macro
   bool active = false;
   uint32_t capacity_limit = 0;  // access-log budget for this attempt
+  uint32_t fast_read_limit = 0;  // min(log size, capacity), or 0 when spurious
+                                 // injection is on: reads below it need no checks
   double spurious_prob = 0.0;
   bool spurious_enabled = false;
   uint32_t read_count = 0;
@@ -109,6 +108,8 @@ void Commit();
 [[noreturn]] void AbortCapacity();
 [[noreturn]] void AbortOther();
 uint64_t TxLoadWordContended(const std::atomic<uint64_t>* addr);  // stripe was locked
+// Read index reached fast_read_limit: capacity check, log, spurious draw.
+uint64_t TxLoadWordChecked(uint64_t value, uint32_t stripe, uint64_t version);
 
 inline uint64_t TxLoadWord(const std::atomic<uint64_t>* addr) {
   TxDesc& tx = tls_tx;
@@ -116,6 +117,7 @@ inline uint64_t TxLoadWord(const std::atomic<uint64_t>* addr) {
   // segment, so a linear scan beats any hashing.
   for (uint32_t w = 0; w < tx.write_count; ++w) {
     if (tx.write_log[w].addr == addr) {
+      ++tx.stats.loads;  // counted so `loads` means "TxLoad calls" in both engines
       return tx.write_log[w].value;
     }
   }
@@ -128,14 +130,15 @@ inline uint64_t TxLoadWord(const std::atomic<uint64_t>* addr) {
   // No re-check and no rv comparison: a torn or stale observation is caught by the
   // commit-time validation against this recorded version (see file comment).
   const uint32_t index = tx.read_count;
-  if (index >= kReadLogEntries || index >= tx.capacity_limit) {
-    AbortCapacity();
+  // One compare covers everything the common path can hit: fast_read_limit folds the
+  // capacity budget and the log bound together, and drops to 0 when spurious-abort
+  // injection needs an RNG draw per read (the oversubscribed regimes only).
+  if (index >= tx.fast_read_limit) [[unlikely]] {
+    return TxLoadWordChecked(value, stripe, version);
   }
   tx.read_log[index] = ReadEntry{stripe, version};
   tx.read_count = index + 1;
-  if (tx.spurious_enabled && tx.rng.NextBool(tx.spurious_prob)) [[unlikely]] {
-    AbortOther();
-  }
+  ++tx.stats.loads;
   return value;
 }
 
@@ -149,7 +152,7 @@ inline void TxStoreWord(std::atomic<uint64_t>* addr, uint64_t value) {
     }
   }
   const uint32_t index = tx.write_count;
-  if (index >= kWriteLogEntries || tx.read_count + index >= tx.capacity_limit) {
+  if (index >= kWriteLogEntries || tx.read_count + index >= tx.capacity_limit) [[unlikely]] {
     AbortCapacity();
   }
   tx.write_log[index] = WriteLogEntry{addr, value};

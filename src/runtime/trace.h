@@ -41,7 +41,10 @@ enum class Event : uint16_t {
                          // begins (an armed emit inside one would abort RTM); an
                          // aborted attempt still shows its begin. arg = split limit
   kSegmentCommit,        // final (operation-ending) commit; arg = steps executed
-  kSegmentAbort,         // transactional abort; arg = htm::AbortCause
+  kSegmentAbort,         // transactional abort; arg = htm::AbortCause code:
+                         // 1 conflict, 2 capacity, 3 explicit, 4 other, and the
+                         // 2PL engine's refinements 5 conflict_reader /
+                         // 6 conflict_writer (htm::AbortCauseName decodes them)
   kCheckpointSplit,      // mid-operation commit at a checkpoint; arg = steps executed
   kPredictorGrow,        // per-(op,segment) limit += 1; arg = new limit
   kPredictorShrink,      // per-(op,segment) limit -= 1; arg = new limit

@@ -17,6 +17,11 @@ namespace {
 class SoftHtmTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // This suite asserts the lazy engine's specific semantics (write buffering,
+    // commit-time validation, the stripe clock); the engine-agnostic contract lives
+    // in stm_contract_test.cc. Pin lazy even when the suite runs with ST_STM=2pl.
+    previous_engine_ = ActiveStmEngine();
+    SelectStmEngine(StmEngine::kLazy);
     // Generous budget so tests control capacity explicitly.
     runtime::MachineConfig config;
     config.base_capacity_lines = 1000;
@@ -25,8 +30,10 @@ class SoftHtmTest : public ::testing::Test {
   }
   void TearDown() override {
     runtime::MachineModel::Instance().Configure(runtime::MachineConfig{});
+    SelectStmEngine(previous_engine_);
   }
   runtime::ThreadScope scope_;
+  StmEngine previous_engine_ = StmEngine::kLazy;
 };
 
 TEST_F(SoftHtmTest, CommitPublishesBufferedWrites) {
@@ -46,6 +53,7 @@ TEST_F(SoftHtmTest, CommitPublishesBufferedWrites) {
 
 TEST_F(SoftHtmTest, ReadOwnWrites) {
   std::atomic<uint64_t> a{5};
+  const TxStats stats_before = StmStats();
   const int rc = ST_HTM_BEGIN_POINT();
   ASSERT_EQ(rc, kTxStarted);
   EXPECT_EQ(TxLoad(a), 5u);
@@ -55,6 +63,12 @@ TEST_F(SoftHtmTest, ReadOwnWrites) {
   EXPECT_EQ(TxLoad(a), 7u);  // write-after-write updates in place
   TxCommit();
   EXPECT_EQ(a.load(), 7u);
+  // The per-thread footprint stats actually tick: three loads (including the
+  // buffered-value hits), two stores, and a nonzero high-water footprint.
+  const TxStats& stats = StmStats();
+  EXPECT_EQ(stats.loads, stats_before.loads + 3);
+  EXPECT_EQ(stats.stores, stats_before.stores + 2);
+  EXPECT_GT(stats.max_footprint, 0u);
 }
 
 TEST_F(SoftHtmTest, ConflictingNonTxStoreAbortsAtCommit) {

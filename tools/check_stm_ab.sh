@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Enforces the STM engine A/B contract (DESIGN.md "Two software engines"): the eager
+# 2PL engine must beat the lazy engine by >= 1.5x committed-transaction throughput on
+# the write_heavy and zipfian_conflict presets (or cut the abort rate in half at
+# >= 0.9x throughput), while staying within 10% of lazy on read_only.
+#
+# Usage: tools/check_stm_ab.sh [threads] [ms] [attempts]
+#
+# Builds the default preset, runs `micro_htm --ab` (which interleaves engine slices
+# to cancel host-frequency drift), and checks the gates. Perf gates on a shared
+# 1-CPU runner are noisy, so a failed attempt is retried up to $ATTEMPTS times; a
+# real regression fails every attempt.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-4}"
+MS="${2:-800}"
+ATTEMPTS="${3:-3}"
+
+echo "== building default preset =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)" --target micro_htm >/dev/null
+
+check_once() {
+  local out
+  out=$(ST_BENCH_THREADS="$THREADS" ST_BENCH_MS="$MS" build/bench/micro_htm --ab)
+  printf '%s\n' "$out" | grep '^AB '
+  printf '%s\n' "$out" | awk '
+    /^AB / {
+      for (i = 1; i <= NF; ++i) {
+        if (split($i, kv, "=") == 2) { v[kv[1]] = kv[2] }
+      }
+      tput[v["preset"] "," v["engine"]] = v["txs_per_sec"]
+      arate[v["preset"] "," v["engine"]] = v["abort_rate"]
+    }
+    END {
+      fail = 0
+      # read_only: 2pl within 10% of lazy.
+      r = tput["read_only,2pl"] / tput["read_only,lazy"]
+      printf "read_only        : 2pl/lazy = %.3f (gate: >= 0.90)\n", r
+      if (r < 0.90) { fail = 1 }
+      # write cells: >= 1.5x throughput, or half the abort rate at >= 0.9x.
+      n = split("write_heavy zipfian_conflict", presets, " ")
+      for (i = 1; i <= n; ++i) {
+        p = presets[i]
+        r = tput[p ",2pl"] / tput[p ",lazy"]
+        ar = arate[p ",lazy"] > 0 ? arate[p ",2pl"] / arate[p ",lazy"] : 999
+        printf "%-17s: 2pl/lazy = %.3f (gate: >= 1.5, or abort ratio %.3f <= 0.5 at >= 0.9x)\n", p, r, ar
+        if (r < 1.5 && !(ar <= 0.5 && r >= 0.9)) { fail = 1 }
+      }
+      exit fail
+    }'
+}
+
+for attempt in $(seq "$ATTEMPTS"); do
+  echo "== A/B gate attempt $attempt/$ATTEMPTS: threads=$THREADS ms=$MS =="
+  if check_once; then
+    echo "OK: 2PL engine meets the A/B gates"
+    exit 0
+  fi
+  echo "attempt $attempt failed its gates"
+done
+echo "FAIL: 2PL engine missed its A/B gates on every attempt"
+exit 1
