@@ -31,6 +31,8 @@ constexpr StatsField kStatsFields[] = {
     {"stm_commit_conflict_aborts", &Stats::stm_commit_conflict_aborts},
     {"predictor_increases", &Stats::predictor_increases},
     {"predictor_decreases", &Stats::predictor_decreases},
+    {"predictor_warm_seeds", &Stats::predictor_warm_seeds},
+    {"predictor_warm_publishes", &Stats::predictor_warm_publishes},
     {"retires", &Stats::retires},
     {"frees", &Stats::frees},
     {"scan_calls", &Stats::scan_calls},
@@ -231,10 +233,13 @@ std::string PredictorTableToJson() {
     bool first_cell = true;
     for (uint32_t op = 0; op < kMaxOps; ++op) {
       for (uint32_t seg = 0; seg < kMaxSegments; ++seg) {
-        const uint32_t limit = ctx->predictor_limit(op, seg);
-        if (limit == 0) {
-          continue;  // uninitialized cell: the (op, segment) pair was never reached
+        // Keyed on the first-touch marker, not on limit == 0: a cell whose limit
+        // legitimately shrank to a min_split_limit of 0 must still be exported
+        // (the old limit-based test silently dropped exactly those cells).
+        if (!ctx->predictor_cell_initialized(op, seg)) {
+          continue;  // the (op, segment) pair was never reached
         }
+        const uint32_t limit = ctx->predictor_limit(op, seg);
         if (!first_cell) {
           out += ',';
         }

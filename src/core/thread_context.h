@@ -22,8 +22,10 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/predictor.h"
 #include "core/stats.h"
 #include "htm/htm.h"
 #include "runtime/rand.h"
@@ -34,8 +36,7 @@ namespace stacktrack::core {
 inline constexpr uint32_t kRegisterSlots = 12;  // shadow register file width
 inline constexpr uint32_t kMaxFrames = 6;       // simultaneously tracked frames
 inline constexpr uint32_t kMaxFrameWords = 48;  // words per tracked frame (skip-list preds+succs)
-inline constexpr uint32_t kMaxOps = 12;         // distinct op ids per context
-inline constexpr uint32_t kMaxSegments = 128;   // predictor cells per op
+// kMaxOps / kMaxSegments (predictor table geometry) live in core/predictor.h.
 
 struct StConfig {
   uint32_t initial_split_limit = 50;  // basic blocks per segment at start (§5.3)
@@ -51,6 +52,10 @@ struct StConfig {
   uint32_t inspect_retry_cap = 64;    // splits-counter retries before conservative "live"
   uint32_t free_highwater_mult = 4;   // back-pressure high water = mult * max_free
   uint32_t watchdog_rounds = 8;       // scans without oper progress -> thread reported
+  // Warm-start hook: JSON file (tools/predictor_tune output or a PredictorTableToJson
+  // dump) loaded into the process-wide PredictorWarmTable when the first context with
+  // this config is created. Empty = no load (ST_PREDICTOR_WARM covers the env path).
+  std::string warm_start_path;
 };
 
 // Slow-path reference set (Algorithm 5). Owner appends/tombstones; scanners read
@@ -286,18 +291,37 @@ class StContext {
   const StConfig& config() const { return config_; }
   uint32_t tid() const { return tid_; }
 
+  // Folds this context's learned split limits into the process-wide
+  // PredictorWarmTable so later-registering threads inherit them instead of
+  // re-deriving from initial_split_limit. Runs automatically at destruction and at
+  // thread exit, under the cost predictor only — the streak default stays
+  // byte-for-byte the paper's behavior.
+  void PublishPredictorTable();
+
   // Test hooks.
   uint32_t current_limit() const { return limit_; }
   uint32_t segment_index() const { return segment_index_; }
   uint32_t predictor_limit(uint32_t op_id, uint32_t segment) const {
     return predictor_[op_id][segment].limit;
   }
+  // Distinguishes "never touched" from a legitimately learned limit equal to 0/min:
+  // the exporter's table dump keys on this, not on limit == 0 (which a cell can reach
+  // when min_split_limit is configured 0).
+  bool predictor_cell_initialized(uint32_t op_id, uint32_t segment) const {
+    return predictor_[op_id][segment].inited != 0;
+  }
 
  private:
   struct PredictorCell {
-    uint16_t limit = 0;  // 0 == uninitialized, lazily set to initial_split_limit
-    uint8_t consec_aborts = 0;
+    uint16_t limit = 0;        // lazily seeded at first touch (see CurrentCell)
+    uint8_t consec_aborts = 0;   // streak policy state (paper §5.3)
     uint8_t consec_commits = 0;
+    uint8_t inited = 0;          // first-touch marker; limit is meaningless before
+    uint8_t cooldown = 0;        // cost policy: commits left before growth re-enables
+    uint16_t ewma_capacity = 0;  // cost policy: Q15 abort-rate EWMAs per cause family
+    uint16_t ewma_conflict = 0;
+    uint16_t cap_ceiling = 0;    // cost policy: lowest limit seen to capacity-abort
+                                 // (deterministic cliff); 0 = none observed
   };
 
   template <typename T>
@@ -324,6 +348,11 @@ class StContext {
   }
 
   PredictorCell& CurrentCell();
+  // Predictor decision paths, dispatched on ActivePredictorFast(). The streak
+  // branches are the paper's §5.3 rule unchanged; the cost branches implement the
+  // EWMA model documented in core/predictor.h / DESIGN.md §5e.
+  void PredictorOnAbort(PredictorCell& cell, int cause);
+  void PredictorOnCommit();
   // Post-retire disposition: offer the free set to the active ReclaimService
   // (near-constant-time ring enqueue); whatever the service refuses falls back to
   // the inline threshold scan (stats.inline_fallbacks).

@@ -46,8 +46,11 @@ enum class Event : uint16_t {
                          // 2PL engine's refinements 5 conflict_reader /
                          // 6 conflict_writer (htm::AbortCauseName decodes them)
   kCheckpointSplit,      // mid-operation commit at a checkpoint; arg = steps executed
-  kPredictorGrow,        // per-(op,segment) limit += 1; arg = new limit
-  kPredictorShrink,      // per-(op,segment) limit -= 1; arg = new limit
+  kPredictorGrow,        // per-(op,segment) limit grew; arg packs the new limit, the
+                         // cell coordinates and the driving CauseFamily — see
+                         // core/predictor.h PredictorTraceArg (tools/predictor_tune
+                         // depends on this layout to attribute moves to cells)
+  kPredictorShrink,      // per-(op,segment) limit shrank; same packed arg layout
   kSlowPathEntry,        // segment entered the software slow path; arg = split limit
   kRetire,               // nodes handed to the free set; arg = batch count
   kScanBegin,            // reclamation round entered; arg = free-set size

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Enforces the split-predictor A/B contract (DESIGN.md §5e): on zipfian_conflict the
+# cost-model predictor must beat the streak rule by >= 1.15x operation throughput, or
+# cut capacity+conflict aborts by >= 25% while staying at >= 1.0x; on read_only (no
+# capacity pressure: commit-only cells) the two policies must be within 5% — the
+# cost model's decision path may not tax uncontended operations.
+#
+# Usage: tools/check_predictor_ab.sh [threads] [ms] [attempts] [--json=FILE]
+#
+# Builds the default preset, runs `micro_htm --predictor-ab` (interleaved policy
+# slices, so host-frequency drift cancels), and checks the gates. Perf gates on a
+# shared 1-CPU runner are noisy, so a failed attempt is retried up to $ATTEMPTS
+# times; a real regression fails every attempt.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-4}"
+MS="${2:-800}"
+ATTEMPTS="${3:-3}"
+JSON_OUT="${4:-}"
+
+echo "== building default preset =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)" --target micro_htm >/dev/null
+
+check_once() {
+  local out extra=()
+  if [[ -n "$JSON_OUT" ]]; then
+    extra+=("$JSON_OUT")
+  fi
+  out=$(ST_BENCH_THREADS="$THREADS" ST_BENCH_MS="$MS" \
+        build/bench/micro_htm --predictor-ab "${extra[@]}")
+  printf '%s\n' "$out" | grep '^PRED-AB '
+  printf '%s\n' "$out" | awk '
+    /^PRED-AB / {
+      for (i = 1; i <= NF; ++i) {
+        if (split($i, kv, "=") == 2) { v[kv[1]] = kv[2] }
+      }
+      key = v["preset"] "," v["predictor"]
+      tput[key] = v["ops_per_sec"]
+      aborts[key] = v["aborts_capacity"] + v["aborts_conflict"]
+    }
+    END {
+      fail = 0
+      # read_only: cost within 5% of streak (either direction is fine; the gate is
+      # about not taxing the uncontended path).
+      r = tput["read_only,cost"] / tput["read_only,streak"]
+      printf "read_only        : cost/streak = %.3f (gate: >= 0.95)\n", r
+      if (r < 0.95) { fail = 1 }
+      # zipfian_conflict: >= 1.15x throughput, or >= 25% fewer capacity+conflict
+      # aborts at >= 1.0x.
+      r = tput["zipfian_conflict,cost"] / tput["zipfian_conflict,streak"]
+      ar = aborts["zipfian_conflict,streak"] > 0 \
+             ? aborts["zipfian_conflict,cost"] / aborts["zipfian_conflict,streak"] : 999
+      printf "zipfian_conflict : cost/streak = %.3f (gate: >= 1.15, or abort ratio %.3f <= 0.75 at >= 1.0x)\n", r, ar
+      if (r < 1.15 && !(ar <= 0.75 && r >= 1.0)) { fail = 1 }
+      exit fail
+    }'
+}
+
+for attempt in $(seq "$ATTEMPTS"); do
+  echo "== predictor A/B gate attempt $attempt/$ATTEMPTS: threads=$THREADS ms=$MS =="
+  if check_once; then
+    echo "OK: cost-model predictor meets the A/B gates"
+    exit 0
+  fi
+  echo "attempt $attempt failed its gates"
+done
+echo "FAIL: cost-model predictor missed its A/B gates on every attempt"
+exit 1

@@ -1,0 +1,235 @@
+// predictor_tune: offline replay tuner for the split-length predictor warm start
+// (DESIGN.md §5e, EXPERIMENTS.md "Replay-tuning the predictor").
+//
+// Reads a trace_dump JSON document (or any document containing its "trace" /
+// "predictor" sections), mines a per-(op, segment) split-limit table from what the
+// run's predictor actually learned, and emits a warm-start table that
+// StConfig::warm_start_path / ST_PREDICTOR_WARM load at startup — so a fresh process
+// starts each cell at the mined operating point instead of re-deriving it from
+// initial_split_limit, one five-abort streak (or one multiplicative staircase) at a
+// time.
+//
+//   ./build/tools/predictor_tune dump.json            table on stdout
+//   ./build/tools/predictor_tune dump.json --out=warm.json
+//
+// Mining rule, per (op, segment) cell:
+//  * Every thread's final limit is a candidate: taken from the "predictor" table
+//    section when present, else from the cell's last predictor_grow/shrink trace
+//    record (the packed arg carries limit, cell coordinates, and cause family —
+//    core/predictor.h PredictorTraceArg).
+//  * Candidates merge by median across threads (one outlier thread must not skew
+//    the seed).
+//  * If any capacity-family shrink was traced for the cell, the merged limit is
+//    clamped to the lowest post-capacity-shrink limit seen: capacity is
+//    deterministic at a given footprint, so seeding above that cliff would buy
+//    every new thread a fresh abort staircase.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/stats_export.h"
+
+namespace {
+
+using stacktrack::core::CauseFamily;
+using stacktrack::core::PredictorTraceFamily;
+using stacktrack::core::PredictorTraceLimit;
+using stacktrack::core::PredictorTraceOp;
+using stacktrack::core::PredictorTraceSegment;
+using stacktrack::core::minijson::Parse;
+using stacktrack::core::minijson::Value;
+
+struct CellKey {
+  uint32_t op;
+  uint32_t segment;
+  bool operator<(const CellKey& other) const {
+    return op != other.op ? op < other.op : segment < other.segment;
+  }
+};
+
+struct CellEvidence {
+  std::vector<uint32_t> finals;      // one final limit per thread that touched the cell
+  uint32_t capacity_floor = 0;       // lowest post-capacity-shrink limit; 0 = none seen
+  uint64_t moves = 0;                // grow/shrink records attributed to the cell
+};
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+uint32_t Median(std::vector<uint32_t>& values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+int Run(const char* in_path, const char* out_path) {
+  std::string text;
+  if (!ReadFile(in_path, &text)) {
+    std::fprintf(stderr, "predictor_tune: cannot read %s\n", in_path);
+    return 1;
+  }
+  Value doc;
+  if (!Parse(text, &doc)) {
+    std::fprintf(stderr, "predictor_tune: %s is not valid JSON\n", in_path);
+    return 1;
+  }
+
+  std::map<CellKey, CellEvidence> cells;
+
+  // Trace replay: the packed args of predictor_grow/shrink records reconstruct each
+  // cell's limit trajectory per thread; the last move a thread made on a cell is
+  // that thread's final word unless the table dump (below) supersedes it.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> last_by_thread_cell;  // -> packed arg
+  uint64_t move_records = 0;
+  const Value* trace = doc.Find("trace");
+  const Value* records = trace != nullptr ? trace->Find("records") : doc.Find("records");
+  if (records != nullptr && records->kind == Value::Kind::kArray) {
+    for (const Value& r : records->array) {
+      const Value* event = r.Find("event");
+      if (event == nullptr || r.Find("arg") == nullptr || r.Find("tid") == nullptr) {
+        continue;
+      }
+      const bool grow = event->string == "predictor_grow";
+      const bool shrink = event->string == "predictor_shrink";
+      if (!grow && !shrink) {
+        continue;
+      }
+      const uint64_t arg = r.Find("arg")->AsU64();
+      const uint32_t op = PredictorTraceOp(arg);
+      const uint32_t segment = PredictorTraceSegment(arg);
+      CellEvidence& cell = cells[{op, segment}];
+      ++cell.moves;
+      ++move_records;
+      const uint64_t cell_id = (static_cast<uint64_t>(op) << 32) | segment;
+      last_by_thread_cell[{r.Find("tid")->AsU64(), cell_id}] = arg;
+      if (shrink && PredictorTraceFamily(arg) == CauseFamily::kCapacity) {
+        const uint32_t limit = PredictorTraceLimit(arg);
+        if (limit != 0 &&
+            (cell.capacity_floor == 0 || limit < cell.capacity_floor)) {
+          cell.capacity_floor = limit;
+        }
+      }
+    }
+  }
+  for (const auto& [key, arg] : last_by_thread_cell) {
+    cells[{PredictorTraceOp(arg), PredictorTraceSegment(arg)}].finals.push_back(
+        PredictorTraceLimit(arg));
+  }
+
+  // Table dump: authoritative per-thread finals (covers cells that never moved and
+  // therefore left no trace records). When present for a thread, it supersedes that
+  // thread's trace-derived final — the simple rule "append both" would double-count,
+  // so trace finals above are only collected per (tid, cell) and the dump's cells
+  // replace nothing already exact; in practice the dump is taken at end of run and
+  // simply adds one more sample per thread that the median absorbs.
+  const Value* table = doc.Find("predictor");
+  const Value* threads = table != nullptr ? table->Find("threads") : doc.Find("threads");
+  uint64_t dump_cells = 0;
+  if (threads != nullptr && threads->kind == Value::Kind::kArray) {
+    for (const Value& thread : threads->array) {
+      const Value* thread_cells = thread.Find("cells");
+      if (thread_cells == nullptr || thread_cells->kind != Value::Kind::kArray) {
+        continue;
+      }
+      for (const Value& c : thread_cells->array) {
+        const Value* op = c.Find("op");
+        const Value* segment = c.Find("segment");
+        const Value* limit = c.Find("limit");
+        if (op == nullptr || segment == nullptr || limit == nullptr) {
+          continue;
+        }
+        cells[{static_cast<uint32_t>(op->AsU64()), static_cast<uint32_t>(segment->AsU64())}]
+            .finals.push_back(static_cast<uint32_t>(limit->AsU64()));
+        ++dump_cells;
+      }
+    }
+  }
+
+  std::string json = "{\n  \"source\": \"" + std::string(in_path) +
+                     "\",\n  \"cells\": [\n";
+  uint64_t emitted = 0;
+  for (auto& [key, cell] : cells) {
+    if (cell.finals.empty()) {
+      continue;
+    }
+    uint32_t limit = Median(cell.finals);
+    if (cell.capacity_floor != 0 && limit > cell.capacity_floor) {
+      limit = cell.capacity_floor;
+    }
+    if (limit == 0) {
+      continue;  // the warm table treats 0 as "no seed"
+    }
+    if (emitted != 0) {
+      json += ",\n";
+    }
+    ++emitted;
+    json += "    {\"op\": " + std::to_string(key.op) +
+            ", \"segment\": " + std::to_string(key.segment) +
+            ", \"limit\": " + std::to_string(limit) +
+            ", \"samples\": " + std::to_string(cell.finals.size()) +
+            ", \"moves\": " + std::to_string(cell.moves) + "}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::fprintf(stderr,
+               "predictor_tune: %llu predictor moves replayed, %llu dump cells, "
+               "%llu cells mined\n",
+               static_cast<unsigned long long>(move_records),
+               static_cast<unsigned long long>(dump_cells),
+               static_cast<unsigned long long>(emitted));
+  if (emitted == 0) {
+    std::fprintf(stderr,
+                 "predictor_tune: no predictor evidence in %s (was the run traced "
+                 "with STACKTRACK_TRACE, or the predictor table dumped?)\n",
+                 in_path);
+    return 1;
+  }
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "predictor_tune: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* in_path = nullptr;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (argv[i][0] != '-') {
+      in_path = argv[i];
+    }
+  }
+  if (in_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: predictor_tune <trace_dump.json> [--out=warm.json]\n");
+    return 2;
+  }
+  return Run(in_path, out_path);
+}
