@@ -1,6 +1,10 @@
 // Figure 1 (left): lock-free list throughput, 5K nodes, 20% mutations, threads 1-16.
 // Schemes: Original (no reclamation), Hazard pointers, Epoch, StackTrack, DTA.
+//
+// Runs on the shared workload engine (bench/workload/): the scenario below is the
+// whole workload description; there is no per-binary timed loop.
 #include "bench/harness.h"
+#include "bench/workload/runner.h"
 #include "ds/list.h"
 #include "smr/dta.h"
 #include "smr/epoch.h"
@@ -12,26 +16,30 @@ namespace stacktrack::bench {
 namespace {
 
 template <typename Smr>
-double Point(const WorkloadConfig& cfg) {
+double Point(const workload::Scenario& scenario) {
   ds::LockFreeList<Smr> list;
-  return RunMapWorkload<Smr>(list, cfg).ops_per_sec;
+  return workload::RunMapScenario<Smr>(list, scenario).ops_per_sec;
 }
 
 int Main() {
   PrintHeader("Fig 1: List throughput (ops/sec)", "5K nodes, 20% mutations, keys 1..10000");
   std::printf("%8s %14s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
               "StackTrack", "DTA");
-  for (const uint32_t threads : EnvThreads()) {
-    WorkloadConfig cfg;
-    cfg.threads = threads;
-    cfg.duration_ms = EnvMs();
-    cfg.mutation_percent = 20;
-    cfg.key_range = 10000;
-    cfg.prefill = 5000;
+  const auto env = workload::EnvConfig::Load();
+  for (const uint32_t threads : env.threads) {
+    workload::Scenario scenario;
+    scenario.name = "fig1-list";
+    scenario.mix.insert_percent = 10;
+    scenario.mix.remove_percent = 10;
+    scenario.keys.key_range = 10000;
+    scenario.prefill = 5000;
+    scenario.threads = threads;
+    scenario.measure_latency = false;  // paper-style pure-throughput points
+    env.Apply(&scenario);
     std::printf("%8u %14.0f %14.0f %14.0f %14.0f %14.0f\n", threads,
-                Point<smr::LeakySmr>(cfg), Point<smr::HazardSmr>(cfg),
-                Point<smr::EpochSmr>(cfg), Point<smr::StackTrackSmr>(cfg),
-                Point<smr::DtaSmr>(cfg));
+                Point<smr::LeakySmr>(scenario), Point<smr::HazardSmr>(scenario),
+                Point<smr::EpochSmr>(scenario), Point<smr::StackTrackSmr>(scenario),
+                Point<smr::DtaSmr>(scenario));
   }
   return 0;
 }

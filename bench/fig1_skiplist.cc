@@ -1,5 +1,7 @@
 // Figure 1 (right): lock-free skip-list throughput, 100K nodes, 20% mutations.
+// Runs on the shared workload engine; see fig1_list.cc.
 #include "bench/harness.h"
+#include "bench/workload/runner.h"
 #include "ds/skiplist.h"
 #include "smr/epoch.h"
 #include "smr/hazard.h"
@@ -10,9 +12,9 @@ namespace stacktrack::bench {
 namespace {
 
 template <typename Smr>
-double Point(const WorkloadConfig& cfg) {
+double Point(const workload::Scenario& scenario) {
   ds::LockFreeSkipList<Smr> skiplist;
-  return RunMapWorkload<Smr>(skiplist, cfg).ops_per_sec;
+  return workload::RunMapScenario<Smr>(skiplist, scenario).ops_per_sec;
 }
 
 int Main() {
@@ -20,16 +22,20 @@ int Main() {
               "100K nodes, 20% mutations, keys 1..200000");
   std::printf("%8s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
               "StackTrack");
-  for (const uint32_t threads : EnvThreads()) {
-    WorkloadConfig cfg;
-    cfg.threads = threads;
-    cfg.duration_ms = EnvMs();
-    cfg.mutation_percent = 20;
-    cfg.key_range = 200000;
-    cfg.prefill = 100000;
-    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads, Point<smr::LeakySmr>(cfg),
-                Point<smr::HazardSmr>(cfg), Point<smr::EpochSmr>(cfg),
-                Point<smr::StackTrackSmr>(cfg));
+  const auto env = workload::EnvConfig::Load();
+  for (const uint32_t threads : env.threads) {
+    workload::Scenario scenario;
+    scenario.name = "fig1-skiplist";
+    scenario.mix.insert_percent = 10;
+    scenario.mix.remove_percent = 10;
+    scenario.keys.key_range = 200000;
+    scenario.prefill = 100000;
+    scenario.threads = threads;
+    scenario.measure_latency = false;
+    env.Apply(&scenario);
+    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads,
+                Point<smr::LeakySmr>(scenario), Point<smr::HazardSmr>(scenario),
+                Point<smr::EpochSmr>(scenario), Point<smr::StackTrackSmr>(scenario));
   }
   return 0;
 }

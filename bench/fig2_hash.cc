@@ -1,5 +1,7 @@
 // Figure 2 (right): lock-free hash table throughput, 10K nodes, 20% mutations.
+// Runs on the shared workload engine; see fig1_list.cc.
 #include "bench/harness.h"
+#include "bench/workload/runner.h"
 #include "ds/hashtable.h"
 #include "smr/epoch.h"
 #include "smr/hazard.h"
@@ -10,9 +12,9 @@ namespace stacktrack::bench {
 namespace {
 
 template <typename Smr>
-double Point(const WorkloadConfig& cfg) {
+double Point(const workload::Scenario& scenario) {
   ds::LockFreeHashTable<Smr> table(4096);
-  return RunMapWorkload<Smr>(table, cfg).ops_per_sec;
+  return workload::RunMapScenario<Smr>(table, scenario).ops_per_sec;
 }
 
 int Main() {
@@ -20,16 +22,20 @@ int Main() {
               "10K nodes, 4096 buckets, 20% mutations, keys 1..20000");
   std::printf("%8s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
               "StackTrack");
-  for (const uint32_t threads : EnvThreads()) {
-    WorkloadConfig cfg;
-    cfg.threads = threads;
-    cfg.duration_ms = EnvMs();
-    cfg.mutation_percent = 20;
-    cfg.key_range = 20000;
-    cfg.prefill = 10000;
-    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads, Point<smr::LeakySmr>(cfg),
-                Point<smr::HazardSmr>(cfg), Point<smr::EpochSmr>(cfg),
-                Point<smr::StackTrackSmr>(cfg));
+  const auto env = workload::EnvConfig::Load();
+  for (const uint32_t threads : env.threads) {
+    workload::Scenario scenario;
+    scenario.name = "fig2-hash";
+    scenario.mix.insert_percent = 10;
+    scenario.mix.remove_percent = 10;
+    scenario.keys.key_range = 20000;
+    scenario.prefill = 10000;
+    scenario.threads = threads;
+    scenario.measure_latency = false;
+    env.Apply(&scenario);
+    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads,
+                Point<smr::LeakySmr>(scenario), Point<smr::HazardSmr>(scenario),
+                Point<smr::EpochSmr>(scenario), Point<smr::StackTrackSmr>(scenario));
   }
   return 0;
 }

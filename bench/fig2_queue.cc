@@ -1,5 +1,7 @@
 // Figure 2 (left): Michael-Scott queue throughput, 20% mutations (enq/deq), 80% peeks.
+// Runs on the shared workload engine; see fig1_list.cc.
 #include "bench/harness.h"
+#include "bench/workload/runner.h"
 #include "ds/queue.h"
 #include "smr/epoch.h"
 #include "smr/hazard.h"
@@ -10,24 +12,28 @@ namespace stacktrack::bench {
 namespace {
 
 template <typename Smr>
-double Point(const WorkloadConfig& cfg) {
+double Point(const workload::Scenario& scenario) {
   ds::LockFreeQueue<Smr> queue;
-  return RunQueueWorkload<Smr>(queue, cfg).ops_per_sec;
+  return workload::RunQueueScenario<Smr>(queue, scenario).ops_per_sec;
 }
 
 int Main() {
   PrintHeader("Fig 2: Queue throughput (ops/sec)", "20% mutations (10% enq / 10% deq), 1K prefill");
   std::printf("%8s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
               "StackTrack");
-  for (const uint32_t threads : EnvThreads()) {
-    WorkloadConfig cfg;
-    cfg.threads = threads;
-    cfg.duration_ms = EnvMs();
-    cfg.mutation_percent = 20;
-    cfg.prefill = 1000;
-    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads, Point<smr::LeakySmr>(cfg),
-                Point<smr::HazardSmr>(cfg), Point<smr::EpochSmr>(cfg),
-                Point<smr::StackTrackSmr>(cfg));
+  const auto env = workload::EnvConfig::Load();
+  for (const uint32_t threads : env.threads) {
+    workload::Scenario scenario;
+    scenario.name = "fig2-queue";
+    scenario.mix.insert_percent = 10;  // enqueue
+    scenario.mix.remove_percent = 10;  // dequeue; remainder peeks
+    scenario.prefill = 1000;
+    scenario.threads = threads;
+    scenario.measure_latency = false;
+    env.Apply(&scenario);
+    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads,
+                Point<smr::LeakySmr>(scenario), Point<smr::HazardSmr>(scenario),
+                Point<smr::EpochSmr>(scenario), Point<smr::StackTrackSmr>(scenario));
   }
   return 0;
 }

@@ -1,4 +1,12 @@
-// Benchmark harness shared by the per-figure binaries.
+// Legacy benchmark harness for the ad-hoc per-figure drivers (fig3/fig4/fig5,
+// scan_behavior, ablation_scan, fault_matrix).
+//
+// The scenario-driven binaries (fig1_list, fig1_skiplist, fig2_hash, fig2_queue,
+// ycsb_kv) run on the workload engine instead (bench/workload/: declarative op-mix
+// scenarios, deterministic per-thread key streams, per-op latency histograms); this
+// header keeps only the simple timed driver the remaining figure binaries still
+// need, and forwards all environment parsing to workload::EnvConfig so the knobs
+// are parsed in exactly one place.
 //
 // Reproduces the paper's methodology: N threads run a mixed workload against one data
 // structure for a fixed wall-clock window; total completed operations are reported.
@@ -7,9 +15,10 @@
 // (simulated context switches), which is what breaks epoch-based reclamation in
 // Figs. 1-2.
 //
-// Environment knobs (all optional):
+// Environment knobs (all optional, parsed by workload::EnvConfig):
 //   ST_BENCH_MS       per-point measure window in ms (default 150)
 //   ST_BENCH_THREADS  comma list of thread counts (default "1,2,3,4,6,8,12,16")
+//   ST_BENCH_SEED     scenario base seed (decimal or 0x hex)
 //   ST_TRACE_ARM      if set, arms event tracing for the whole run (armed-overhead
 //                     measurements; records go to the per-thread rings as usual)
 #ifndef STACKTRACK_BENCH_HARNESS_H_
@@ -28,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/workload/scenario.h"
 #include "core/stats.h"
 #include "runtime/barrier.h"
 #include "runtime/trace.h"
@@ -65,28 +75,18 @@ inline void InstallCrashHandler() {
   signal(SIGBUS, CrashHandler);
 }
 
+// Environment accessors, now thin forwarders over the workload engine's single
+// ST_BENCH_* parser (workload::EnvConfig).
 inline uint32_t EnvMs(uint32_t fallback = 150) {
-  const char* value = std::getenv("ST_BENCH_MS");
-  return value != nullptr ? static_cast<uint32_t>(std::atoi(value)) : fallback;
+  return workload::EnvConfig::Load(fallback).duration_ms;
 }
 
 inline std::vector<uint32_t> EnvThreads() {
-  const char* value = std::getenv("ST_BENCH_THREADS");
-  std::vector<uint32_t> threads;
-  if (value == nullptr) {
-    return {1, 2, 3, 4, 6, 8, 12, 16};
-  }
-  std::string spec(value);
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    threads.push_back(static_cast<uint32_t>(std::atoi(spec.c_str() + pos)));
-    pos = spec.find(',', pos);
-    if (pos == std::string::npos) {
-      break;
-    }
-    ++pos;
-  }
-  return threads;
+  return workload::EnvConfig::Load().threads;
+}
+
+inline uint64_t EnvSeed(uint64_t fallback = 0x5eedULL) {
+  return workload::EnvConfig::Load(150, {1}, fallback).seed;
 }
 
 // Generic timed driver: spawns cfg.threads workers, each registered and holding a
@@ -183,30 +183,6 @@ template <typename Smr, typename Map>
 WorkloadResult RunMapWorkload(Map& map, const WorkloadConfig& cfg) {
   typename Smr::Domain domain;
   return RunMapWorkloadIn<Smr>(domain, map, cfg);
-}
-
-// Queue workload: mutation_percent split between enqueue/dequeue, remainder peeks.
-template <typename Smr, typename Queue>
-WorkloadResult RunQueueWorkload(Queue& queue, const WorkloadConfig& cfg) {
-  typename Smr::Domain domain;
-  {
-    runtime::ThreadScope scope;
-    auto& handle = domain.AcquireHandle();
-    for (uint64_t i = 0; i < cfg.prefill; ++i) {
-      queue.Enqueue(handle, i + 1);
-    }
-  }
-  const uint32_t half_mutations = cfg.mutation_percent / 2;
-  return RunTimed(domain, cfg, [&queue, half_mutations](auto& handle, auto& rng) {
-    const uint64_t dice = rng.NextBounded(100);
-    if (dice < half_mutations) {
-      queue.Enqueue(handle, dice + 1);
-    } else if (dice < 2 * half_mutations) {
-      queue.Dequeue(handle);
-    } else {
-      queue.Peek(handle);
-    }
-  });
 }
 
 inline void PrintHeader(const char* title, const char* workload) {

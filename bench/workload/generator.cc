@@ -1,0 +1,33 @@
+#include "bench/workload/generator.h"
+
+#include <cmath>
+
+namespace stacktrack::bench::workload {
+
+ZipfCdf::ZipfCdf(uint64_t n, double theta) {
+  cdf_.reserve(n);
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_.push_back(sum);
+  }
+  for (double& c : cdf_) {
+    c /= sum;
+  }
+}
+
+uint64_t ZipfCdf::Rank(double u) const {
+  uint64_t lo = 0;
+  uint64_t hi = cdf_.size();
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+}  // namespace stacktrack::bench::workload

@@ -1,0 +1,49 @@
+#include "bench/workload/histogram.h"
+
+#include <cmath>
+
+namespace stacktrack::bench::workload {
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (uint32_t i = 0; i < kBucketCount; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  sum_ += other.sum_;
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  count_ += other.count_;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      const uint64_t upper = BucketUpper(i);
+      return upper > max_ ? max_ : upper;
+    }
+  }
+  return max_;
+}
+
+}  // namespace stacktrack::bench::workload

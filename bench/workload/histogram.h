@@ -1,0 +1,106 @@
+// Log-bucketed latency histogram for per-operation latency SLOs.
+//
+// Layout (HdrHistogram-lite): values below kSubBuckets are recorded exactly, one
+// bucket per nanosecond; above that, each power-of-two tier holds kSubBuckets
+// linearly spaced sub-buckets, so the quantization error is bounded by
+// 1/kSubBuckets (~1.6%) of the value at every magnitude. 64-bit values up to ~2^63
+// ns fit without overflow checks.
+//
+// Concurrency contract: per-thread single-writer. A worker records into its own
+// histogram with plain (non-atomic) increments — no contended cache lines on the
+// measured path — and the runner merges the per-thread histograms after the
+// workers have joined. Merge/percentile are therefore single-threaded post-run
+// operations; percentile extraction over the merged counts is exact bucket walking
+// (the rank lands in exactly one bucket; the reported value is that bucket's upper
+// bound, plus the exactly tracked max for the terminal rank).
+#ifndef STACKTRACK_BENCH_WORKLOAD_HISTOGRAM_H_
+#define STACKTRACK_BENCH_WORKLOAD_HISTOGRAM_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace stacktrack::bench::workload {
+
+class LatencyHistogram {
+ public:
+  static constexpr uint32_t kSubBits = 6;                 // 64 sub-buckets per tier
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBits;
+  // Tier t >= 1 covers [kSubBuckets << (t-1), kSubBuckets << t); the top tier caps
+  // the index computation for any uint64 value.
+  static constexpr uint32_t kTiers = 64 - kSubBits;
+  static constexpr uint32_t kBucketCount =
+      static_cast<uint32_t>(kSubBuckets) * (kTiers + 1);
+
+  LatencyHistogram() : counts_(kBucketCount, 0) {}
+
+  // Single-writer fast path: one index computation + one increment.
+  void Record(uint64_t value_ns) {
+    ++counts_[BucketIndex(value_ns)];
+    ++count_;
+    sum_ += value_ns;
+    if (value_ns > max_) {
+      max_ = value_ns;
+    }
+    if (value_ns < min_ || count_ == 1) {
+      min_ = value_ns;
+    }
+  }
+
+  // Fold `other` into this histogram (post-run, no writers active).
+  void Merge(const LatencyHistogram& other);
+
+  // Value at percentile p in [0, 100]. Walks the merged buckets to the bucket
+  // containing rank ceil(p/100 * count) and returns its upper bound, clamped to the
+  // exactly tracked max (so Percentile(100) == max()). 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  uint64_t sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  // Bucket geometry, exposed for the boundary tests: every value maps into the
+  // bucket whose [lower, upper] range contains it.
+  static uint32_t BucketIndex(uint64_t value) {
+    if (value < kSubBuckets) {
+      return static_cast<uint32_t>(value);
+    }
+    const uint32_t tier = static_cast<uint32_t>(std::bit_width(value)) - kSubBits;
+    const uint32_t capped = tier > kTiers ? kTiers : tier;
+    const uint32_t sub =
+        static_cast<uint32_t>((value >> (capped - 1)) & (kSubBuckets - 1));
+    return capped * static_cast<uint32_t>(kSubBuckets) + sub;
+  }
+
+  static uint64_t BucketLower(uint32_t index) {
+    const uint32_t tier = index >> kSubBits;
+    const uint64_t sub = index & (kSubBuckets - 1);
+    if (tier == 0) {
+      return sub;
+    }
+    return (kSubBuckets + sub) << (tier - 1);
+  }
+
+  static uint64_t BucketUpper(uint32_t index) {
+    const uint32_t tier = index >> kSubBits;
+    if (tier == 0) {
+      return index & (kSubBuckets - 1);
+    }
+    return BucketLower(index) + (1ull << (tier - 1)) - 1;
+  }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = 0;
+};
+
+}  // namespace stacktrack::bench::workload
+
+#endif  // STACKTRACK_BENCH_WORKLOAD_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#include "bench/workload/scenario.h"
+
+namespace stacktrack::bench::workload {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead: return "read";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kScan: return "scan";
+    case OpKind::kCount: break;
+  }
+  return "unknown";
+}
+
+Scenario YcsbScenario(char letter, uint64_t key_range, bool with_scans) {
+  Scenario scenario;
+  scenario.keys.dist = KeyDist::kZipfian;
+  scenario.keys.key_range = key_range;
+  scenario.keys.zipf_theta = 0.99;
+  scenario.prefill = key_range / 2;
+  switch (letter) {
+    case 'a':
+    case 'A':
+      scenario.name = "ycsb-a";
+      scenario.mix.insert_percent = 50;  // update-heavy: 50/50
+      break;
+    case 'b':
+    case 'B':
+      scenario.name = "ycsb-b";
+      scenario.mix.insert_percent = 5;  // read-mostly: 95/5
+      break;
+    case 'c':
+    case 'C':
+    default:
+      scenario.name = "ycsb-c";
+      scenario.mix.insert_percent = 0;  // read-only
+      break;
+  }
+  scenario.mix.remove_percent = 0;
+  scenario.mix.scan_percent = 0;
+  if (with_scans) {
+    scenario.mix.scan_percent = 5;  // 5% of ops walk the secondary index
+    scenario.name += "+scan";
+  }
+  return scenario;
+}
+
+}  // namespace stacktrack::bench::workload

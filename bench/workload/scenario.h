@@ -1,0 +1,132 @@
+// Declarative op-mix scenarios for the workload engine, plus the one shared parser
+// for the bench environment knobs.
+//
+// A Scenario is the complete description of one benchmark point: what mix of
+// operations to run (read/insert/remove/scan percentages), how keys are drawn
+// (uniform or zipfian, range, seed), how the structure is prefilled, how many
+// threads for how long, and whether per-op latency is recorded. The runner
+// (runner.h) executes a Scenario against any Domain + structure; the per-figure
+// binaries and bench/ycsb_kv only declare scenarios and print results.
+//
+// EnvConfig centralizes the ST_BENCH_* environment parsing that every figure binary
+// used to re-derive through bench/harness.h:
+//   ST_BENCH_MS       per-point measure window in ms
+//   ST_BENCH_THREADS  comma list of thread counts
+//   ST_BENCH_SEED     scenario base seed (decimal or 0x hex)
+//   ST_TRACE_ARM      if set, arm event tracing for the run
+// EnvConfig is header-only so bench binaries that only need the knobs (via
+// harness.h's forwarding shims) do not have to link the workload library.
+#ifndef STACKTRACK_BENCH_WORKLOAD_SCENARIO_H_
+#define STACKTRACK_BENCH_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/workload/generator.h"
+
+namespace stacktrack::bench::workload {
+
+// Operation kinds the engine dispatches. Structure adapters map them onto their own
+// surface (maps: Contains/Insert/Remove + scan as a key-range read; queues:
+// Peek/Enqueue/Dequeue with scan folded into reads).
+enum class OpKind : uint8_t {
+  kRead = 0,
+  kInsert,
+  kRemove,
+  kScan,
+  kCount,
+};
+inline constexpr uint32_t kOpKinds = static_cast<uint32_t>(OpKind::kCount);
+
+const char* OpKindName(OpKind kind);
+
+// Percentages; must sum to at most 100, remainder goes to reads. This keeps
+// "mutation_percent = 20" style declarations exact: insert 10 / remove 10 / rest
+// reads is {.insert = 10, .remove = 10}.
+struct OpMix {
+  uint32_t insert_percent = 10;
+  uint32_t remove_percent = 10;
+  uint32_t scan_percent = 0;
+
+  uint32_t read_percent() const {
+    const uint32_t taken = insert_percent + remove_percent + scan_percent;
+    return taken >= 100 ? 0 : 100 - taken;
+  }
+};
+
+struct Scenario {
+  std::string name = "custom";
+  OpMix mix;
+  KeyStreamSpec keys;
+  uint64_t prefill = 5000;
+  uint32_t threads = 4;
+  uint32_t duration_ms = 150;
+  uint32_t scan_length = 16;   // consecutive index keys touched per scan op
+  // Thread ramp: worker t enters the workload t * ramp_step_ms after the barrier
+  // (staggered arrival, the serving-system warmup shape). 0 = all start together.
+  uint32_t ramp_step_ms = 0;
+  bool inject_preemption = true;  // oversubscription preemption, as in bench/harness.h
+  bool measure_latency = true;    // per-op monotonic timestamps -> histograms
+};
+
+// YCSB-style presets (Cooper et al. workload letters, adapted to this key-value
+// surface). All zipfian theta 0.99 over `key_range` keys, prefilled to half range:
+//   A  update-heavy  50% read / 50% insert(update)
+//   B  read-mostly   95% read /  5% insert(update)
+//   C  read-only    100% read
+// Every preset also exists in a "+scan" variant used by the ycsb_kv secondary-index
+// path (5% of reads become index scans).
+Scenario YcsbScenario(char letter, uint64_t key_range = 16384, bool with_scans = false);
+
+// One-stop ST_BENCH_* environment view (satellite of the engine refactor: the
+// figure binaries previously each re-parsed these in main()).
+struct EnvConfig {
+  uint32_t duration_ms;
+  std::vector<uint32_t> threads;
+  uint64_t seed;
+  bool trace_arm;
+
+  static EnvConfig Load(uint32_t default_ms = 150,
+                        std::vector<uint32_t> default_threads = {1, 2, 3, 4, 6, 8, 12,
+                                                                 16},
+                        uint64_t default_seed = 0x5eedULL) {
+    EnvConfig env;
+    env.duration_ms = default_ms;
+    if (const char* value = std::getenv("ST_BENCH_MS"); value != nullptr) {
+      env.duration_ms = static_cast<uint32_t>(std::atoi(value));
+    }
+    env.threads = std::move(default_threads);
+    if (const char* value = std::getenv("ST_BENCH_THREADS"); value != nullptr) {
+      env.threads.clear();
+      std::size_t pos = 0;
+      const std::string spec(value);
+      while (pos < spec.size()) {
+        env.threads.push_back(static_cast<uint32_t>(std::atoi(spec.c_str() + pos)));
+        pos = spec.find(',', pos);
+        if (pos == std::string::npos) {
+          break;
+        }
+        ++pos;
+      }
+    }
+    env.seed = default_seed;
+    if (const char* value = std::getenv("ST_BENCH_SEED"); value != nullptr) {
+      env.seed = std::strtoull(value, nullptr, 0);
+    }
+    env.trace_arm = std::getenv("ST_TRACE_ARM") != nullptr;
+    return env;
+  }
+
+  // Stamp the per-run knobs onto a scenario (thread count stays the caller's loop
+  // variable).
+  void Apply(Scenario* scenario) const {
+    scenario->duration_ms = duration_ms;
+    scenario->keys.seed = seed;
+  }
+};
+
+}  // namespace stacktrack::bench::workload
+
+#endif  // STACKTRACK_BENCH_WORKLOAD_SCENARIO_H_

@@ -3,17 +3,23 @@
 // read/write load whose removed entries must be freed without a GC).
 //
 // Four writer threads continuously insert/overwrite/evict; four reader threads do
-// lookups. At the end the example reports throughput and proves memory was recycled
-// while running (pool frees > 0, live objects bounded by the table size).
+// lookups. Key streams come from the workload engine (bench/workload/generator.h):
+// each thread's keys and coin flips are a deterministic KeyStream, so a run is
+// replayable with the same seed — the same generators the benchmark scenarios use
+// (bench/ycsb_kv drives this shape at scale). At the end the example reports
+// throughput and proves memory was recycled while running (pool frees > 0, live
+// objects bounded by the table size).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
-#include "runtime/rand.h"
+#include "bench/workload/generator.h"
 #include "stacktrack.h"
 
+using stacktrack::bench::workload::KeyStream;
+using stacktrack::bench::workload::KeyStreamSpec;
 using stacktrack::ds::LockFreeHashTable;
 using stacktrack::smr::StackTrackSmr;
 
@@ -23,12 +29,19 @@ constexpr uint32_t kWriters = 4;
 constexpr uint32_t kReaders = 4;
 constexpr uint32_t kOpsPerThread = 40000;
 constexpr uint64_t kKeySpace = 8192;
+constexpr uint64_t kSeed = 0xa0beefULL;
 
 }  // namespace
 
 int main() {
   StackTrackSmr::Domain domain;
   LockFreeHashTable<StackTrackSmr> store(1024);
+
+  // One spec for every thread; per-thread decorrelation comes from the stream's
+  // thread index (writers 0..3, readers 4..7).
+  KeyStreamSpec spec;
+  spec.key_range = kKeySpace;
+  spec.seed = kSeed;
 
   std::atomic<uint64_t> writes{0};
   std::atomic<uint64_t> reads{0};
@@ -40,10 +53,10 @@ int main() {
     threads.emplace_back([&, w] {
       stacktrack::runtime::ThreadScope scope;
       auto& h = domain.AcquireHandle();
-      stacktrack::runtime::Xorshift128 rng(0xa0 + w);
+      KeyStream keys(spec, nullptr, w);
       for (uint32_t i = 0; i < kOpsPerThread; ++i) {
-        const uint64_t key = 1 + rng.NextBounded(kKeySpace);
-        if (rng.NextBool(0.5)) {
+        const uint64_t key = keys.Next();
+        if (keys.Dice(2) == 0) {
           store.Insert(h, key, (uint64_t{w} << 32) | i);
         } else {
           store.Remove(h, key);  // evict: the entry node is reclaimed automatically
@@ -56,10 +69,9 @@ int main() {
     threads.emplace_back([&, r] {
       stacktrack::runtime::ThreadScope scope;
       auto& h = domain.AcquireHandle();
-      stacktrack::runtime::Xorshift128 rng(0xbeef + r);
+      KeyStream keys(spec, nullptr, kWriters + r);
       for (uint32_t i = 0; i < kOpsPerThread; ++i) {
-        const uint64_t key = 1 + rng.NextBounded(kKeySpace);
-        if (store.Contains(h, key)) {
+        if (store.Contains(h, keys.Next())) {
           hits.fetch_add(1, std::memory_order_relaxed);
         }
         reads.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Enforces the serving-latency SLO on the YCSB read-mostly preset (EXPERIMENTS.md
+# W1): a StackTrack ycsb_kv run on YCSB-B (95% reads, zipfian .99) must keep its
+# read p99 under a fixed ceiling and its throughput above a floor fraction of the
+# committed baseline (BENCH_ycsb.json). This is the regression tripwire for the
+# latency path itself — e.g. a timestamp accidentally moved inside a transactional
+# segment (guaranteed RTM abort storm) or an O(n) slip in a hot structure shows up
+# here long before it is visible in throughput-only gates.
+#
+# Usage: tools/check_slo.sh [threads] [ms] [attempts]
+#
+# Gates (hard, exit non-zero when every attempt misses):
+#   * stacktrack / ycsb-b: read_p99 <= READ_P99_CEILING_NS
+#   * stacktrack / ycsb-b: ops_per_sec >= THROUGHPUT_FLOOR x committed baseline
+# The ceiling is absolute (~100x the committed p99) and the floor fractional:
+# shared CI runners are noisy in scale but not in shape, so a failed attempt is
+# retried up to $ATTEMPTS times; a real regression fails every attempt.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-4}"
+MS="${2:-400}"
+ATTEMPTS="${3:-3}"
+
+READ_P99_CEILING_NS=50000
+THROUGHPUT_FLOOR=0.30
+BASELINE=BENCH_ycsb.json
+
+# Committed baseline throughput for the gated cell (scheme=stacktrack, ycsb-b).
+baseline_ops=$(python3 - "$BASELINE" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for cell in doc["cells"]:
+    if cell["scheme"] == "stacktrack" and cell["preset"] == "ycsb-b":
+        print(int(cell["ops_per_sec"]))
+        break
+EOF
+)
+if [[ -z "$baseline_ops" ]]; then
+  echo "FAIL: no stacktrack/ycsb-b cell in $BASELINE"
+  exit 1
+fi
+
+echo "== building default preset =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)" --target ycsb_kv >/dev/null
+
+check_once() {
+  local out
+  out=$(build/bench/ycsb_kv --preset=b --scheme=stacktrack --threads="$THREADS" --ms="$MS")
+  printf '%s\n' "$out" | grep '^YCSB '
+  printf '%s\n' "$out" | awk -v ceiling="$READ_P99_CEILING_NS" \
+                             -v floor="$THROUGHPUT_FLOOR" -v base="$baseline_ops" '
+    /^YCSB / {
+      for (i = 1; i <= NF; ++i) {
+        if (split($i, kv, "=") == 2) { v[kv[1]] = kv[2] }
+      }
+      fail = 0
+      printf "read p99   : %d ns (gate: <= %d ns)\n", v["read_p99"], ceiling
+      if (v["read_p99"] + 0 > ceiling + 0) { fail = 1 }
+      ratio = v["ops_per_sec"] / base
+      printf "throughput : %.0f ops/s = %.3f of baseline %.0f (gate: >= %.2f)\n",
+             v["ops_per_sec"], ratio, base, floor
+      if (ratio < floor) { fail = 1 }
+      exit fail
+    }'
+}
+
+for attempt in $(seq "$ATTEMPTS"); do
+  echo "== SLO gate attempt $attempt/$ATTEMPTS: threads=$THREADS ms=$MS =="
+  if check_once; then
+    echo "OK: ycsb_kv meets the read-mostly SLO"
+    exit 0
+  fi
+  echo "attempt $attempt missed its gates"
+done
+echo "FAIL: ycsb_kv missed the SLO gates on every attempt"
+exit 1
