@@ -1,16 +1,13 @@
 // Figure 1 (left): lock-free list throughput, 5K nodes, 20% mutations, threads 1-16.
-// Schemes: Original (no reclamation), Hazard pointers, Epoch, StackTrack, DTA.
+// Default columns: Original (no reclamation), Hazard pointers, Epoch, StackTrack,
+// DTA; any registry scheme is runnable via --scheme= (see bench/scheme_cli.h).
 //
 // Runs on the shared workload engine (bench/workload/): the scenario below is the
 // whole workload description; there is no per-binary timed loop.
 #include "bench/harness.h"
+#include "bench/scheme_cli.h"
 #include "bench/workload/runner.h"
 #include "ds/list.h"
-#include "smr/dta.h"
-#include "smr/epoch.h"
-#include "smr/hazard.h"
-#include "smr/leaky.h"
-#include "smr/stacktrack_smr.h"
 
 namespace stacktrack::bench {
 namespace {
@@ -21,10 +18,22 @@ double Point(const workload::Scenario& scenario) {
   return workload::RunMapScenario<Smr>(list, scenario).ops_per_sec;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::vector<std::string> schemes;
+  int exit_code = 0;
+  if (!ParseFigSchemes(argc, argv,
+                       {"original", "hazard", "epoch", "stacktrack", "dta"},
+                       &schemes, &exit_code)) {
+    return exit_code;
+  }
   PrintHeader("Fig 1: List throughput (ops/sec)", "5K nodes, 20% mutations, keys 1..10000");
-  std::printf("%8s %14s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
-              "StackTrack", "DTA");
+  std::printf("%8s", "threads");
+  for (const std::string& name : schemes) {
+    smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo& info) {
+      std::printf(" %14s", info.display);
+    });
+  }
+  std::printf("\n");
   const auto env = workload::EnvConfig::Load();
   for (const uint32_t threads : env.threads) {
     workload::Scenario scenario;
@@ -36,10 +45,13 @@ int Main() {
     scenario.threads = threads;
     scenario.measure_latency = false;  // paper-style pure-throughput points
     env.Apply(&scenario);
-    std::printf("%8u %14.0f %14.0f %14.0f %14.0f %14.0f\n", threads,
-                Point<smr::LeakySmr>(scenario), Point<smr::HazardSmr>(scenario),
-                Point<smr::EpochSmr>(scenario), Point<smr::StackTrackSmr>(scenario),
-                Point<smr::DtaSmr>(scenario));
+    std::printf("%8u", threads);
+    for (const std::string& name : schemes) {
+      smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo&) {
+        std::printf(" %14.0f", Point<Smr>(scenario));
+      });
+    }
+    std::printf("\n");
   }
   return 0;
 }
@@ -47,4 +59,4 @@ int Main() {
 }  // namespace
 }  // namespace stacktrack::bench
 
-int main() { return stacktrack::bench::Main(); }
+int main(int argc, char** argv) { return stacktrack::bench::Main(argc, argv); }

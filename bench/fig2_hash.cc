@@ -1,12 +1,9 @@
 // Figure 2 (right): lock-free hash table throughput, 10K nodes, 20% mutations.
-// Runs on the shared workload engine; see fig1_list.cc.
+// Runs on the shared workload engine; see fig1_list.cc. --scheme= adds columns.
 #include "bench/harness.h"
+#include "bench/scheme_cli.h"
 #include "bench/workload/runner.h"
 #include "ds/hashtable.h"
-#include "smr/epoch.h"
-#include "smr/hazard.h"
-#include "smr/leaky.h"
-#include "smr/stacktrack_smr.h"
 
 namespace stacktrack::bench {
 namespace {
@@ -17,11 +14,22 @@ double Point(const workload::Scenario& scenario) {
   return workload::RunMapScenario<Smr>(table, scenario).ops_per_sec;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::vector<std::string> schemes;
+  int exit_code = 0;
+  if (!ParseFigSchemes(argc, argv, {"original", "hazard", "epoch", "stacktrack"},
+                       &schemes, &exit_code)) {
+    return exit_code;
+  }
   PrintHeader("Fig 2: Hash-table throughput (ops/sec)",
               "10K nodes, 4096 buckets, 20% mutations, keys 1..20000");
-  std::printf("%8s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
-              "StackTrack");
+  std::printf("%8s", "threads");
+  for (const std::string& name : schemes) {
+    smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo& info) {
+      std::printf(" %14s", info.display);
+    });
+  }
+  std::printf("\n");
   const auto env = workload::EnvConfig::Load();
   for (const uint32_t threads : env.threads) {
     workload::Scenario scenario;
@@ -33,9 +41,13 @@ int Main() {
     scenario.threads = threads;
     scenario.measure_latency = false;
     env.Apply(&scenario);
-    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads,
-                Point<smr::LeakySmr>(scenario), Point<smr::HazardSmr>(scenario),
-                Point<smr::EpochSmr>(scenario), Point<smr::StackTrackSmr>(scenario));
+    std::printf("%8u", threads);
+    for (const std::string& name : schemes) {
+      smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo&) {
+        std::printf(" %14.0f", Point<Smr>(scenario));
+      });
+    }
+    std::printf("\n");
   }
   return 0;
 }
@@ -43,4 +55,4 @@ int Main() {
 }  // namespace
 }  // namespace stacktrack::bench
 
-int main() { return stacktrack::bench::Main(); }
+int main(int argc, char** argv) { return stacktrack::bench::Main(argc, argv); }

@@ -1,12 +1,9 @@
 // Figure 2 (left): Michael-Scott queue throughput, 20% mutations (enq/deq), 80% peeks.
-// Runs on the shared workload engine; see fig1_list.cc.
+// Runs on the shared workload engine; see fig1_list.cc. --scheme= adds columns.
 #include "bench/harness.h"
+#include "bench/scheme_cli.h"
 #include "bench/workload/runner.h"
 #include "ds/queue.h"
-#include "smr/epoch.h"
-#include "smr/hazard.h"
-#include "smr/leaky.h"
-#include "smr/stacktrack_smr.h"
 
 namespace stacktrack::bench {
 namespace {
@@ -17,10 +14,21 @@ double Point(const workload::Scenario& scenario) {
   return workload::RunQueueScenario<Smr>(queue, scenario).ops_per_sec;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::vector<std::string> schemes;
+  int exit_code = 0;
+  if (!ParseFigSchemes(argc, argv, {"original", "hazard", "epoch", "stacktrack"},
+                       &schemes, &exit_code)) {
+    return exit_code;
+  }
   PrintHeader("Fig 2: Queue throughput (ops/sec)", "20% mutations (10% enq / 10% deq), 1K prefill");
-  std::printf("%8s %14s %14s %14s %14s\n", "threads", "Original", "Hazards", "Epoch",
-              "StackTrack");
+  std::printf("%8s", "threads");
+  for (const std::string& name : schemes) {
+    smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo& info) {
+      std::printf(" %14s", info.display);
+    });
+  }
+  std::printf("\n");
   const auto env = workload::EnvConfig::Load();
   for (const uint32_t threads : env.threads) {
     workload::Scenario scenario;
@@ -31,9 +39,13 @@ int Main() {
     scenario.threads = threads;
     scenario.measure_latency = false;
     env.Apply(&scenario);
-    std::printf("%8u %14.0f %14.0f %14.0f %14.0f\n", threads,
-                Point<smr::LeakySmr>(scenario), Point<smr::HazardSmr>(scenario),
-                Point<smr::EpochSmr>(scenario), Point<smr::StackTrackSmr>(scenario));
+    std::printf("%8u", threads);
+    for (const std::string& name : schemes) {
+      smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo&) {
+        std::printf(" %14.0f", Point<Smr>(scenario));
+      });
+    }
+    std::printf("\n");
   }
   return 0;
 }
@@ -41,4 +53,4 @@ int Main() {
 }  // namespace
 }  // namespace stacktrack::bench
 
-int main() { return stacktrack::bench::Main(); }
+int main(int argc, char** argv) { return stacktrack::bench::Main(argc, argv); }

@@ -24,6 +24,9 @@
 //
 // Usage: robustness_lag [--scheme=S] [--scenario=stall|death|none] [--threads=N]
 //                       [--ms=N] [--smoke] [--freepath] [--json]
+//   --scheme    any smr/registry.h name, the bench-local "stacktrack-service"
+//               variant, a comma list, "all" (the three contract schemes above),
+//               or "help"; default honors ST_SCHEME
 //   --smoke     short windows for CI (also honors ST_BENCH_MS)
 //   --freepath  instead of scenarios, measure the mutator-side cost of free():
 //               ns/op for inline StackTrack vs. StackTrack+service (hot-path win)
@@ -41,8 +44,7 @@
 #include "ds/list.h"
 #include "runtime/fault.h"
 #include "runtime/pool_alloc.h"
-#include "smr/hyaline.h"
-#include "smr/stacktrack_smr.h"
+#include "smr/registry.h"
 
 namespace stacktrack::bench {
 namespace {
@@ -50,7 +52,7 @@ namespace {
 namespace fault = runtime::fault;
 
 struct Options {
-  std::string scheme = "all";    // stacktrack | stacktrack-service | hyaline | all
+  std::string scheme = "all";    // registry names + "stacktrack-service"; see usage
   std::string scenario = "stall";  // stall | death | none
   uint32_t threads = 4;
   uint32_t duration_ms = 400;
@@ -297,13 +299,17 @@ void RunStackTrack(const Options& opt, bool with_service) {
   PrintReport(opt, with_service ? "stacktrack-service" : "stacktrack", report);
 }
 
-void RunHyaline(const Options& opt) {
-  LagReport report;
-  {
-    smr::HyalineSmr::Domain domain;
-    report = RunScenario<smr::HyalineSmr>(opt, domain, /*mid_op_death=*/false);
-  }
-  PrintReport(opt, "hyaline", report);
+// Any registered scheme runs through the generic scenario; hyaline's victim dies
+// at an operation boundary (see the header comment), everyone else's mid-op.
+void RunRegistryScheme(const Options& opt, const std::string& name) {
+  smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo& info) {
+    smr::WithBenchDomain<Smr>([&](typename Smr::Domain& domain) {
+      const LagReport report = RunScenario<Smr>(
+          opt, domain,
+          /*victim_dies_mid_op=*/!std::is_same_v<Smr, smr::HyalineSmr>);
+      PrintReport(opt, info.name, report);
+    });
+  });
 }
 
 // Hot-path microbenchmark: per-call free() latency with the service consuming
@@ -404,6 +410,7 @@ void RunFreePath(const Options& opt) {
 
 int Main(int argc, char** argv) {
   Options opt;
+  opt.scheme = smr::SchemeEnvDefault("all");
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
     auto value = [&](const char* prefix) -> const char* {
@@ -435,6 +442,17 @@ int Main(int argc, char** argv) {
     opt.duration_ms = EnvMs(200);
     opt.stall_ms = opt.duration_ms / 4;
   }
+  // "all" keeps its historical meaning: the three schemes whose robustness
+  // contracts the header documents (and check_reclaim_lag.sh gates). Any other
+  // registered scheme is still runnable by name.
+  const std::vector<std::string> contract_schemes = {"stacktrack",
+                                                     "stacktrack-service",
+                                                     "hyaline"};
+  const std::vector<std::string> extra = {"stacktrack-service"};
+  std::vector<std::string> schemes;
+  if (!smr::ResolveSchemeSelection(opt.scheme, contract_schemes, &schemes, extra)) {
+    return opt.scheme == "help" ? 0 : 2;
+  }
   InstallCrashHandler();
 
   if (opt.freepath) {
@@ -445,14 +463,14 @@ int Main(int argc, char** argv) {
     std::printf("# robustness_lag: scenario=%s threads=%u ms=%u stall_ms=%u\n",
                 opt.scenario.c_str(), opt.threads, opt.duration_ms, opt.stall_ms);
   }
-  if (opt.scheme == "stacktrack" || opt.scheme == "all") {
-    RunStackTrack(opt, /*with_service=*/false);
-  }
-  if (opt.scheme == "stacktrack-service" || opt.scheme == "all") {
-    RunStackTrack(opt, /*with_service=*/true);
-  }
-  if (opt.scheme == "hyaline" || opt.scheme == "all") {
-    RunHyaline(opt);
+  for (const std::string& name : schemes) {
+    if (name == "stacktrack") {
+      RunStackTrack(opt, /*with_service=*/false);
+    } else if (name == "stacktrack-service") {
+      RunStackTrack(opt, /*with_service=*/true);
+    } else {
+      RunRegistryScheme(opt, name);
+    }
   }
   return 0;
 }

@@ -20,10 +20,10 @@
 // (see runner.h) into per-thread log-bucketed histograms; the report carries
 // p50/p99/p999 per op kind.
 //
-// Every reclamation scheme in the repo is runnable: original (leaky), epoch,
-// hazard, dta, stacktrack, hyaline — and the StackTrack runs compose with both STM
-// engines (ST_STM=lazy|2pl), both split predictors (ST_PREDICTOR=streak|cost), and
-// the warm-start tables (ST_PREDICTOR_WARM=bench/warm/<preset>.json).
+// Every scheme in smr/registry.h is runnable by name (--scheme=help lists them) —
+// and the StackTrack runs compose with both STM engines (ST_STM=lazy|2pl), both
+// split predictors (ST_PREDICTOR=streak|cost), and the warm-start tables
+// (ST_PREDICTOR_WARM=bench/warm/<preset>.json).
 //
 // Usage: ycsb_kv [--preset=a|b|c|all] [--scheme=NAME|all] [--threads=N] [--ms=N]
 //                [--keys=N] [--shards=N] [--theta=F] [--scans] [--ramp=MS]
@@ -49,12 +49,7 @@
 #include "ds/hashtable.h"
 #include "ds/list.h"
 #include "ds/queue.h"
-#include "smr/dta.h"
-#include "smr/epoch.h"
-#include "smr/hazard.h"
-#include "smr/hyaline.h"
-#include "smr/leaky.h"
-#include "smr/stacktrack_smr.h"
+#include "smr/registry.h"
 
 namespace stacktrack::bench {
 namespace {
@@ -223,7 +218,7 @@ void PrintResult(const Options& opt, const char* scheme,
         "\"threads\":%u,\"ms\":%u,\"keys\":%llu,\"theta\":%.2f,\"stm\":\"%s\","
         "\"predictor\":\"%s\",\"warm_seeds\":%zu,\"ops\":%llu,"
         "\"ops_per_sec\":%.0f,\"retires\":%llu,\"frees\":%llu,\"final_lag\":%llu,"
-        "\"latency_ns\":%s,\"stats\":%s}\n",
+        "\"latency_ns\":%s,\"stats\":%s,\"scheme_stats\":%s}\n",
         scheme, scenario.name.c_str(), scenario.threads, scenario.duration_ms,
         static_cast<unsigned long long>(scenario.keys.key_range),
         scenario.keys.zipf_theta, StmEngineName(),
@@ -233,17 +228,24 @@ void PrintResult(const Options& opt, const char* scheme,
         static_cast<unsigned long long>(retires),
         static_cast<unsigned long long>(frees),
         static_cast<unsigned long long>(lag), latency.c_str(),
-        core::StatsToJson(result.stats).c_str());
+        core::StatsToJson(result.stats).c_str(),
+        core::StatsToJson(scheme_stats).c_str());
     return;
   }
-  // awk-friendly flat line (tools/check_slo.sh parses these).
+  // awk-friendly flat line (tools/check_slo.sh and tools/check_teleport.sh parse
+  // these). The guard_* counters are domain-side (nonzero only for schemes that
+  // batch guard publication, i.e. teleport).
   std::printf("YCSB scheme=%s preset=%s threads=%u ms=%u ops=%llu ops_per_sec=%.0f "
-              "retires=%llu frees=%llu final_lag=%llu",
+              "retires=%llu frees=%llu final_lag=%llu "
+              "guard_batches=%llu guard_elisions=%llu guard_fallbacks=%llu",
               scheme, scenario.name.c_str(), scenario.threads, scenario.duration_ms,
               static_cast<unsigned long long>(result.total_ops), result.ops_per_sec,
               static_cast<unsigned long long>(retires),
               static_cast<unsigned long long>(frees),
-              static_cast<unsigned long long>(lag));
+              static_cast<unsigned long long>(lag),
+              static_cast<unsigned long long>(scheme_stats.guard_batches),
+              static_cast<unsigned long long>(scheme_stats.guard_elisions),
+              static_cast<unsigned long long>(scheme_stats.guard_fallbacks));
   for (uint32_t k = 0; k < workload::kOpKinds; ++k) {
     const workload::LatencySummary s = workload::Summarize(result.latency[k]);
     const char* name = workload::OpKindName(static_cast<OpKind>(k));
@@ -278,31 +280,8 @@ void MaybeDumpSidecars(const Options& opt, bool stacktrack_run) {
   }
 }
 
-template <typename Smr>
-void RunScheme(const Options& opt, const char* scheme,
-               const workload::Scenario& scenario) {
-  typename Smr::Domain domain;
-  // Scheme-level reclamation counters come from the domain (the global
-  // StatsRegistry only counts StackTrack contexts; baselines keep their
-  // retire/free totals domain-side — smr.h's uniform Snapshot contract).
-  const core::Stats before = domain.Snapshot();
-  const workload::RunResult result = RunKv<Smr>(domain, opt, scenario);
-  PrintResult(opt, scheme, scenario, result,
-              workload::StatsDelta(before, domain.Snapshot()));
-}
-
-void RunStackTrackScheme(const Options& opt, const workload::Scenario& scenario) {
-  core::StConfig cfg;
-  cfg.hashed_scan = true;  // the production scan path (§5.2)
-  smr::StackTrackSmr::Domain domain(cfg);
-  const core::Stats before = domain.Snapshot();
-  const workload::RunResult result = RunKv<smr::StackTrackSmr>(domain, opt, scenario);
-  PrintResult(opt, "stacktrack", scenario, result,
-              workload::StatsDelta(before, domain.Snapshot()));
-  MaybeDumpSidecars(opt, /*stacktrack_run=*/true);  // before contexts retire
-}
-
-void RunPreset(const Options& opt, char letter) {
+void RunPreset(const Options& opt, const std::vector<std::string>& schemes,
+               char letter) {
   workload::Scenario scenario =
       workload::YcsbScenario(letter, opt.key_range, opt.with_scans);
   scenario.keys.zipf_theta = opt.theta;
@@ -325,31 +304,27 @@ void RunPreset(const Options& opt, char letter) {
   }
   scenario.ramp_step_ms = opt.ramp_step_ms;
 
-  auto want = [&](const char* name) {
-    return opt.scheme == "all" || opt.scheme == name;
-  };
-  if (want("original")) {
-    RunScheme<smr::LeakySmr>(opt, "original", scenario);
-  }
-  if (want("epoch")) {
-    RunScheme<smr::EpochSmr>(opt, "epoch", scenario);
-  }
-  if (want("hazard")) {
-    RunScheme<smr::HazardSmr>(opt, "hazard", scenario);
-  }
-  if (want("dta")) {
-    RunScheme<smr::DtaSmr>(opt, "dta", scenario);
-  }
-  if (want("stacktrack")) {
-    RunStackTrackScheme(opt, scenario);
-  }
-  if (want("hyaline")) {
-    RunScheme<smr::HyalineSmr>(opt, "hyaline", scenario);
+  for (const std::string& name : schemes) {
+    smr::DispatchScheme(name, [&]<typename Smr>(const smr::SchemeInfo& info) {
+      smr::WithBenchDomain<Smr>([&](typename Smr::Domain& domain) {
+        // Scheme-level reclamation counters come from the domain (the global
+        // StatsRegistry only counts StackTrack contexts; baselines keep their
+        // retire/free totals domain-side — smr.h's uniform Snapshot contract).
+        const core::Stats before = domain.Snapshot();
+        const workload::RunResult result = RunKv<Smr>(domain, opt, scenario);
+        PrintResult(opt, info.name, scenario, result,
+                    workload::StatsDelta(before, domain.Snapshot()));
+        // Sidecars dump before contexts retire; the trace buffer is cumulative, so
+        // a multi-scheme --trace-out ends holding the whole run's merged trace.
+        MaybeDumpSidecars(opt, std::is_same_v<Smr, smr::StackTrackSmr>);
+      });
+    });
   }
 }
 
 int Main(int argc, char** argv) {
   Options opt;
+  opt.scheme = smr::SchemeEnvDefault("all");
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
     auto value = [&](const char* prefix) -> const char* {
@@ -389,6 +364,10 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
+  std::vector<std::string> schemes;
+  if (!smr::ResolveSchemeSelection(opt.scheme, smr::AllSchemeNames(), &schemes)) {
+    return opt.scheme == "help" ? 0 : 2;
+  }
   InstallCrashHandler();
   if (workload::EnvConfig::Load().trace_arm) {
     runtime::trace::Arm(true);
@@ -401,11 +380,11 @@ int Main(int argc, char** argv) {
                 core::PredictorName(core::ActivePredictor()));
   }
   if (opt.preset == "all") {
-    RunPreset(opt, 'a');
-    RunPreset(opt, 'b');
-    RunPreset(opt, 'c');
+    RunPreset(opt, schemes, 'a');
+    RunPreset(opt, schemes, 'b');
+    RunPreset(opt, schemes, 'c');
   } else {
-    RunPreset(opt, opt.preset[0]);
+    RunPreset(opt, schemes, opt.preset[0]);
   }
   return 0;
 }

@@ -76,6 +76,16 @@ struct Stats {
   uint64_t steals = 0;               // batches drained from another reclaimer's shard
   uint64_t failovers = 0;            // stalled/dead reclaimers failed over to a peer
   uint64_t inline_fallbacks = 0;     // mutator frees that fell back to inline scanning
+  // Hazard-protocol guard activity (smr/guard_table.h consumers). The guard_batch_*
+  // counters belong to the teleport scheme (HTM-elided hazard capture): batches are
+  // committed guard transactions, elisions count per-hop publish fences a committed
+  // batch made unnecessary, fallbacks count fenced slow segments entered after
+  // aborts. guard_slot_overflows is sticky across every scheme using a GuardTable: a
+  // nonzero value means some traversal indexed past its slot budget (protocol break).
+  uint64_t guard_batches = 0;        // teleport guard batches committed
+  uint64_t guard_elisions = 0;       // per-hop hazard fences elided by committed batches
+  uint64_t guard_fallbacks = 0;      // fenced (plain-hazard) segments entered after aborts
+  uint64_t guard_slot_overflows = 0; // guard-slot indexes clamped out of range (sticky)
 
   Stats& operator+=(const Stats& other) {
     const uint64_t* src = reinterpret_cast<const uint64_t*>(&other);

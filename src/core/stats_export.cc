@@ -60,6 +60,10 @@ constexpr StatsField kStatsFields[] = {
     {"steals", &Stats::steals},
     {"failovers", &Stats::failovers},
     {"inline_fallbacks", &Stats::inline_fallbacks},
+    {"guard_batches", &Stats::guard_batches},
+    {"guard_elisions", &Stats::guard_elisions},
+    {"guard_fallbacks", &Stats::guard_fallbacks},
+    {"guard_slot_overflows", &Stats::guard_slot_overflows},
 };
 
 constexpr std::size_t kStatsFieldCount = sizeof(kStatsFields) / sizeof(kStatsFields[0]);

@@ -20,6 +20,9 @@ constexpr int kCauseOther = 4;
 void ResetTx(TxDesc& tx) {
   tx.read_count = 0;
   tx.write_count = 0;
+  // The read cache must not survive into the next transaction: a stale hit would
+  // skip logging a read the fresh log has no entry to validate.
+  tx.last_read_line = 0;
 }
 
 // `eager` distinguishes aborts raised at the access site from commit-time ones in

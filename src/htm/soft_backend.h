@@ -51,6 +51,7 @@ inline constexpr std::size_t kStripeCount = std::size_t{1} << kStripeCountLog2;
 inline constexpr std::size_t kReadLogEntries = 4096;
 inline constexpr std::size_t kWriteLogEntries = 256;
 
+
 // Kept trivial so the descriptor reset is a pair of count stores.
 struct ReadEntry {
   uint32_t stripe;
@@ -72,6 +73,15 @@ struct TxDesc {
   bool spurious_enabled = false;
   uint32_t read_count = 0;
   uint32_t write_count = 0;
+  // One-entry read-log cache: the line address (addr >> 6) most recently appended.
+  // A repeat read of that line skips the stripe machinery entirely and returns the
+  // raw value — the logged entry already monitors the line, so any concurrent
+  // change (including reclaimer quarantine) fails commit validation. This is
+  // exactly real HTM's semantics: re-reading a monitored line is free, and the
+  // value observed is only as good as the commit that validates it. Pointer-chasing
+  // traversals hit this constantly (a node's key and next field share a line).
+  // 0 is the sentinel (line 0 = the first 64 bytes of address space, never heap).
+  uintptr_t last_read_line = 0;
   ReadEntry read_log[kReadLogEntries];
   WriteLogEntry write_log[kWriteLogEntries];
   runtime::Xorshift128 rng{0x5eedbeef};
@@ -121,6 +131,17 @@ inline uint64_t TxLoadWord(const std::atomic<uint64_t>* addr) {
       return tx.write_log[w].value;
     }
   }
+  const uintptr_t line = reinterpret_cast<uintptr_t>(addr) >> 6;
+  if (line == tx.last_read_line) {
+    // Cached: the line is already in the read set. Word loads are untearable, and
+    // if the line changed since it was logged (writer commit, quarantine) the
+    // logged version mismatches at commit and the transaction aborts — so the
+    // value returned here is never acted on beyond the zombie window the file
+    // comment already admits. Only set on the fast path, so spurious-injection
+    // regimes (fast_read_limit == 0) keep their one-RNG-draw-per-read semantics.
+    ++tx.stats.loads;
+    return addr->load(std::memory_order_acquire);
+  }
   const uint32_t stripe = StripeIndexOf(reinterpret_cast<uintptr_t>(addr));
   const uint64_t version = g_stripes[stripe].load(std::memory_order_acquire);
   if (StripeLocked(version)) {
@@ -138,6 +159,7 @@ inline uint64_t TxLoadWord(const std::atomic<uint64_t>* addr) {
   }
   tx.read_log[index] = ReadEntry{stripe, version};
   tx.read_count = index + 1;
+  tx.last_read_line = line;
   ++tx.stats.loads;
   return value;
 }

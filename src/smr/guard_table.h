@@ -1,0 +1,171 @@
+// Reusable hazard-pointer guard surface: the publish-validate protocol (Michael
+// 2004) extracted out of HazardSmr::Handle so every guard-based scheme shares one
+// implementation of the safety-critical pieces.
+//
+//   * GuardSlot  — a view of one published guard word. ProtectLoad is the classic
+//     load → publish → seq_cst fence → revalidate loop; Publish is the fence-free
+//     hand-over-hand store for values already covered by another slot.
+//   * GuardTable — the per-thread guard rows (cache-aligned, kMaxThreads wide) plus
+//     the scanner side: Collect snapshots every published guard below the thread
+//     registry's high watermark. `kSets > 1` gives a scheme several physical guard
+//     words per logical slot; the scanner always sweeps every set. HazardSmr uses
+//     one set; TeleportSmr double-buffers two (the committed capture vs. the guard
+//     batch being built inside the current transaction).
+//
+// Slot-index discipline: a traversal that runs past kSlots (a data structure
+// outgrowing the scheme's slot budget, e.g. a deeper skip list) is a protocol
+// break. Debug builds assert; release builds fail loudly instead of silently
+// scribbling past the row — the index clamps to slot 0 (still a published guard,
+// conservatively pinning the wrong node rather than corrupting a neighbour row),
+// a sticky counter records the overflow (surfaced as Stats::guard_slot_overflows
+// by the owning domain's Snapshot) and a kGuardSlotOverflow trace event fires.
+#ifndef STACKTRACK_SMR_GUARD_TABLE_H_
+#define STACKTRACK_SMR_GUARD_TABLE_H_
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cacheline.h"
+#include "runtime/thread_registry.h"
+#include "runtime/trace.h"
+
+namespace stacktrack::smr {
+
+// Non-owning view of one guard word. Only the owning thread stores; the scanner
+// reads racily (acquire) — exactly the hazard-pointer contract.
+class GuardSlot {
+ public:
+  explicit GuardSlot(std::atomic<uintptr_t>& word) : word_(&word) {}
+
+  // Publish-validate: load the source, publish the guard, fence, re-load; retry
+  // until the source is stable across the publication. Returns the raw loaded word
+  // (tag bits preserved); the guard protects the node the word points into.
+  // `load` performs the source reads — plain acquire for schemes whose domains run
+  // no transactions (hazard), htm::SafeLoad for schemes whose peers may be inside
+  // soft-STM segments (teleport's fallback path).
+  template <typename T, typename Loader>
+  T ProtectLoad(const std::atomic<T>& src, Loader&& load) {
+    static_assert(sizeof(T) == 8);
+    while (true) {
+      const T value = load(src);
+      word_->store(std::bit_cast<uintptr_t>(value), std::memory_order_release);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (std::bit_cast<uintptr_t>(load(src)) == std::bit_cast<uintptr_t>(value)) {
+        return value;
+      }
+    }
+  }
+
+  // Fence-free publication of an *already protected* value (hand-over-hand advance,
+  // or a batch store whose validation is deferred to the enclosing transaction's
+  // commit). The value must stay covered elsewhere until this store is validated.
+  template <typename T>
+  void Publish(T value) {
+    static_assert(sizeof(T) == 8);
+    word_->store(std::bit_cast<uintptr_t>(value), std::memory_order_release);
+  }
+
+  void Clear() { word_->store(0, std::memory_order_release); }
+  uintptr_t Peek() const { return word_->load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uintptr_t>* word_;
+};
+
+template <uint32_t kSlots, uint32_t kSets = 1>
+class GuardTable {
+  static_assert(kSlots > 0 && kSets > 0);
+
+ public:
+  static constexpr uint32_t kSlotsPerThread = kSlots;
+  static constexpr uint32_t kSetCount = kSets;
+
+  GuardSlot slot(uint32_t tid, uint32_t set, uint32_t slot_index) {
+    return GuardSlot(Word(tid, set, slot_index));
+  }
+
+  // Base of one thread's guard row (all sets, kSets * kSlots words). Handles on hot
+  // paths cache this to reach their slots without re-chasing domain/table pointers
+  // on every publication.
+  std::atomic<uintptr_t>* RowWords(uint32_t tid) { return rows_[tid].value.words; }
+
+  std::atomic<uintptr_t>& Word(uint32_t tid, uint32_t set, uint32_t slot_index) {
+    assert(slot_index < kSlots && "guard slot index out of range");
+    if (slot_index >= kSlots) [[unlikely]] {
+      NoteOverflow(slot_index);
+      slot_index = 0;
+    }
+    return rows_[tid].value.words[set * kSlots + slot_index];
+  }
+
+  // Records a slot-budget overflow (sticky counter + trace event). Callers that
+  // index a cached Row() directly use this to keep the fail-loudly discipline.
+  void NoteOverflow(uint32_t slot_index) {
+    slot_overflows_.fetch_add(1, std::memory_order_relaxed);
+    runtime::trace::Emit(runtime::trace::Event::kGuardSlotOverflow, slot_index);
+  }
+
+  // Copies the first `count` slots of one thread's `from` set over its `to` set
+  // (owner thread only). Teleport seeds each batch set from the committed set so
+  // every root guarded at segment start stays guarded in both sets until
+  // individually superseded; `count` lets it copy only the operation's slot
+  // high-water mark instead of the whole row (slots above it are zero in both sets
+  // between ClearRow calls).
+  void CopySet(uint32_t tid, uint32_t from, uint32_t to, uint32_t count = kSlots) {
+    auto& row = rows_[tid].value;
+    if (count > kSlots) {
+      count = kSlots;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      row.words[to * kSlots + i].store(
+          row.words[from * kSlots + i].load(std::memory_order_relaxed),
+          std::memory_order_release);
+    }
+  }
+
+  // Clears every set of one thread's row (operation end: idle threads pin nothing).
+  void ClearRow(uint32_t tid) {
+    for (std::atomic<uintptr_t>& word : rows_[tid].value.words) {
+      word.store(0, std::memory_order_release);
+    }
+  }
+
+  void ClearAllRows() {
+    for (uint32_t tid = 0; tid < runtime::kMaxThreads; ++tid) {
+      ClearRow(tid);
+    }
+  }
+
+  // Scan stage 1: snapshot every nonzero guard (all sets) below the registry's
+  // high watermark.
+  void Collect(std::vector<uintptr_t>& out) const {
+    const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
+    for (uint32_t tid = 0; tid < watermark; ++tid) {
+      for (const std::atomic<uintptr_t>& word : rows_[tid].value.words) {
+        const uintptr_t value = word.load(std::memory_order_acquire);
+        if (value != 0) {
+          out.push_back(value);
+        }
+      }
+    }
+  }
+
+  uint64_t slot_overflows() const {
+    return slot_overflows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Row {
+    std::atomic<uintptr_t> words[kSets * kSlots] = {};
+  };
+
+  runtime::CacheAligned<Row> rows_[runtime::kMaxThreads];
+  std::atomic<uint64_t> slot_overflows_{0};
+};
+
+}  // namespace stacktrack::smr
+
+#endif  // STACKTRACK_SMR_GUARD_TABLE_H_

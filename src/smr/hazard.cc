@@ -7,16 +7,11 @@ namespace stacktrack::smr {
 
 namespace trace = runtime::trace;
 
-std::atomic<uintptr_t>& HazardSmr::Handle::HazardSlot(uint32_t slot) {
-  return domain_->rows_[tid_].value.slots[slot];
+GuardSlot HazardSmr::Handle::HazardSlot(uint32_t slot) {
+  return domain_->guards_.slot(tid_, /*set=*/0, slot);
 }
 
-void HazardSmr::Handle::OpEnd() {
-  auto& row = domain_->rows_[tid_].value;
-  for (std::atomic<uintptr_t>& slot : row.slots) {
-    slot.store(0, std::memory_order_release);
-  }
-}
+void HazardSmr::Handle::OpEnd() { domain_->guards_.ClearRow(tid_); }
 
 void HazardSmr::Handle::Retire(void* ptr, uint64_t) {
   retired_.push_back(ptr);
@@ -41,15 +36,7 @@ void HazardSmr::Domain::Scan(std::vector<void*>& retired) {
   // Stage 1: snapshot all published hazards.
   std::vector<uintptr_t> hazards;
   hazards.reserve(runtime::kMaxThreads * kSlotsPerThread);
-  const uint32_t watermark = runtime::ThreadRegistry::Instance().high_watermark();
-  for (uint32_t tid = 0; tid < watermark; ++tid) {
-    for (const std::atomic<uintptr_t>& slot : rows_[tid].value.slots) {
-      const uintptr_t value = slot.load(std::memory_order_acquire);
-      if (value != 0) {
-        hazards.push_back(value);
-      }
-    }
-  }
+  guards_.Collect(hazards);
 
   // Stage 2: free retired nodes no hazard points into.
   auto& pool = runtime::PoolAllocator::Instance();
@@ -82,11 +69,7 @@ void HazardSmr::Domain::Scan(std::vector<void*>& retired) {
 
 HazardSmr::Domain::~Domain() {
   // Operations have completed by contract; any hazard left published is stale.
-  for (auto& row : rows_) {
-    for (std::atomic<uintptr_t>& slot : row.value.slots) {
-      slot.store(0, std::memory_order_release);
-    }
-  }
+  guards_.ClearAllRows();
   auto& pool = runtime::PoolAllocator::Instance();
   for (Handle& handle : handles_) {
     for (void* node : handle.retired_) {

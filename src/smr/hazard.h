@@ -5,6 +5,10 @@
 // protected hop is the overhead the paper measures against. Scanning compares retired
 // blocks against all published hazards by range containment, so tag bits (mark/freeze
 // bits folded into pointer LSBs) and interior pointers are handled uniformly.
+//
+// The protocol itself (publish-validate loop, guard rows, scanner collection, the
+// slot-overflow discipline) lives in smr/guard_table.h, shared with TeleportSmr —
+// this scheme is the one-set, always-fenced instantiation.
 #ifndef STACKTRACK_SMR_HAZARD_H_
 #define STACKTRACK_SMR_HAZARD_H_
 
@@ -13,9 +17,9 @@
 #include <vector>
 
 #include "core/stats.h"
-#include "runtime/cacheline.h"
 #include "runtime/thread_registry.h"
 #include "runtime/trace.h"
+#include "smr/guard_table.h"
 #include "smr/smr.h"
 
 namespace stacktrack::smr {
@@ -50,21 +54,12 @@ struct HazardSmr {
       return dst.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
     }
 
-    // Publish-validate. Returns the raw loaded word (tag bits preserved); the hazard
-    // protects the node the word points into.
+    // Publish-validate (GuardSlot::ProtectLoad). Returns the raw loaded word (tag
+    // bits preserved); the hazard protects the node the word points into.
     template <typename T>
     T Protect(const std::atomic<T>& src, uint32_t slot) {
-      static_assert(sizeof(T) == 8);
-      std::atomic<uintptr_t>& hazard = HazardSlot(slot);
-      while (true) {
-        const T value = src.load(std::memory_order_acquire);
-        hazard.store(std::bit_cast<uintptr_t>(value), std::memory_order_release);
-        std::atomic_thread_fence(std::memory_order_seq_cst);
-        if (std::bit_cast<uintptr_t>(src.load(std::memory_order_acquire)) ==
-            std::bit_cast<uintptr_t>(value)) {
-          return value;
-        }
-      }
+      return HazardSlot(slot).ProtectLoad(
+          src, [](const std::atomic<T>& s) { return s.load(std::memory_order_acquire); });
     }
 
     // Publishes an *already protected* value into another slot (hand-over-hand
@@ -72,8 +67,7 @@ struct HazardSmr {
     // until that slot is overwritten, so the scanner can never miss it.
     template <typename T>
     void ProtectRaw(uint32_t slot, T value) {
-      static_assert(sizeof(T) == 8);
-      HazardSlot(slot).store(std::bit_cast<uintptr_t>(value), std::memory_order_release);
+      HazardSlot(slot).Publish(value);
     }
 
     void Retire(void* ptr, uint64_t key = 0);
@@ -81,7 +75,7 @@ struct HazardSmr {
 
    private:
     friend class Domain;
-    std::atomic<uintptr_t>& HazardSlot(uint32_t slot);
+    GuardSlot HazardSlot(uint32_t slot);
 
     Domain* domain_ = nullptr;
     uint32_t tid_ = 0;
@@ -108,6 +102,7 @@ struct HazardSmr {
       s.retires = total_retired_.load(std::memory_order_relaxed);
       s.frees = total_freed_.load(std::memory_order_relaxed);
       s.scan_calls = total_scans_.load(std::memory_order_relaxed);
+      s.guard_slot_overflows = guards_.slot_overflows();
       return s;
     }
     std::vector<runtime::trace::MergedRecord> Trace() const {
@@ -117,16 +112,12 @@ struct HazardSmr {
    private:
     friend class Handle;
 
-    struct HazardRow {
-      std::atomic<uintptr_t> slots[kSlotsPerThread] = {};
-    };
-
     // Frees every node in `retired` not covered by a published hazard; survivors are
     // compacted back into `retired`.
     void Scan(std::vector<void*>& retired);
 
     const Config config_;
-    runtime::CacheAligned<HazardRow> rows_[runtime::kMaxThreads];
+    GuardTable<kSlotsPerThread> guards_;
     Handle handles_[runtime::kMaxThreads];
     std::atomic<uint64_t> total_retired_{0};
     std::atomic<uint64_t> total_freed_{0};

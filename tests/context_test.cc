@@ -87,7 +87,11 @@ TEST_F(SplitEngineTest, PredictorShrinksUnderCapacityAborts) {
     ST_OP_BEGIN(ctx, 2);
     for (int bb = 0; bb < 30; ++bb) {
       ST_CHECKPOINT(ctx);
-      ctx.Load(words[bb % 64]);  // one shared read per basic block
+      // One shared read per basic block, each on a fresh cache line: capacity is
+      // a line budget (the backend's line-read cache dedups same-line re-reads,
+      // exactly as real HTM footprint would), so adjacent-word reads would fit
+      // the tiny budget and never abort.
+      ctx.Load(words[(bb * 8) % 64]);
     }
     ST_OP_END(ctx);
   }

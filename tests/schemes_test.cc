@@ -11,6 +11,7 @@
 #include "smr/hazard.h"
 #include "smr/leaky.h"
 #include "smr/stacktrack_smr.h"
+#include "smr/teleport.h"
 #include "runtime/pool_alloc.h"
 
 namespace stacktrack::smr {
@@ -278,7 +279,7 @@ template <typename Scheme>
 class UnifiedSurfaceTest : public ::testing::Test {};
 
 using AllSchemes =
-    ::testing::Types<LeakySmr, EpochSmr, HazardSmr, DtaSmr, StackTrackSmr>;
+    ::testing::Types<LeakySmr, EpochSmr, HazardSmr, DtaSmr, StackTrackSmr, TeleportSmr>;
 TYPED_TEST_SUITE(UnifiedSurfaceTest, AllSchemes);
 
 TYPED_TEST(UnifiedSurfaceTest, DomainSurfaceAndOpScope) {

@@ -19,6 +19,7 @@
 #include "smr/hazard.h"
 #include "smr/leaky.h"
 #include "smr/stacktrack_smr.h"
+#include "smr/teleport.h"
 
 namespace stacktrack {
 namespace {
@@ -88,7 +89,7 @@ template <typename Smr>
 class StressTest : public ::testing::Test {};
 
 using AllSchemes = ::testing::Types<smr::LeakySmr, smr::EpochSmr, smr::HazardSmr, smr::DtaSmr,
-                                    smr::StackTrackSmr>;
+                                    smr::StackTrackSmr, smr::TeleportSmr>;
 TYPED_TEST_SUITE(StressTest, AllSchemes);
 
 TYPED_TEST(StressTest, List) {

@@ -1,0 +1,258 @@
+// TeleportSmr-specific behaviour: the guard-batching protocol over the soft HTM
+// backend. The scheme-generic surface and the multi-thread crucibles already run
+// teleport through schemes_test / stress_test; this suite pins down what is unique
+// to teleportation — fallback publication is plain hazard, batches really elide
+// per-hop fences, an injected mid-batch abort never exposes an unpublished guard,
+// and the guard-slot budget fails loudly.
+#include <gtest/gtest.h>
+
+#include <sched.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ds/list.h"
+#include "htm/htm.h"
+#include "runtime/fault.h"
+#include "runtime/pool_alloc.h"
+#include "runtime/rand.h"
+#include "runtime/thread_registry.h"
+#include "smr/teleport.h"
+
+namespace stacktrack::smr {
+namespace {
+
+namespace fault = runtime::fault;
+
+// Every test runs against the deterministic lazy engine regardless of ST_STM: the
+// suite's expectations (batch commits, abort causes) are engine-visible behaviour.
+class TeleportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_engine_ = htm::ActiveStmEngine();
+    htm::SelectBackend(htm::BackendKind::kSoft);
+    htm::SelectStmEngine(htm::StmEngine::kLazy);
+    fault::ResetCounters();  // Fires() is cumulative per site across arms
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    fault::ResetCounters();
+    htm::SelectStmEngine(previous_engine_);
+  }
+
+ private:
+  htm::StmEngine previous_engine_ = htm::StmEngine::kLazy;
+};
+
+// With batching disabled every segment is fenced: publication must behave exactly
+// like hazard pointers — a published guard pins the node across a peer's scan, no
+// batch is ever opened, and releasing the guard lets the next scan free it.
+TEST_F(TeleportTest, BatchingDisabledIsPlainHazardPublication) {
+  TeleportSmr::Config config;
+  config.scan_threshold = 1;  // every retire scans
+  config.batching = false;
+  TeleportSmr::Domain domain(config);
+  auto& pool = runtime::PoolAllocator::Instance();
+
+  void* node = pool.Alloc(32);
+  std::atomic<void*> link{node};
+  std::atomic<int> state{0};  // 0: starting, 1: guarded, 2: release, 3: released
+
+  std::thread holder([&] {
+    runtime::ThreadScope scope;
+    auto& h = domain.AcquireHandle();
+    h.OpBegin(0);
+    EXPECT_EQ(h.Protect(link, /*slot=*/0), node);
+    state.store(1, std::memory_order_release);
+    while (state.load(std::memory_order_acquire) != 2) {
+      sched_yield();
+    }
+    h.OpEnd();  // clears the guard row
+    state.store(3, std::memory_order_release);
+  });
+  while (state.load(std::memory_order_acquire) != 1) {
+    sched_yield();
+  }
+
+  runtime::ThreadScope scope;
+  auto& reclaimer = domain.AcquireHandle();
+  reclaimer.OpBegin(0);
+  reclaimer.Retire(node);  // threshold 1: scans immediately; the guard must pin it
+  EXPECT_TRUE(pool.OwnsLive(node)) << "scan freed a node under a live guard";
+
+  state.store(2, std::memory_order_release);
+  while (state.load(std::memory_order_acquire) != 3) {
+    sched_yield();
+  }
+  void* trigger = pool.Alloc(32);
+  reclaimer.Retire(trigger);  // re-scan with the row cleared frees both
+  reclaimer.OpEnd();
+  EXPECT_FALSE(pool.OwnsLive(node));
+  EXPECT_FALSE(pool.OwnsLive(trigger));
+  holder.join();
+
+  const core::Stats stats = domain.Snapshot();
+  EXPECT_EQ(stats.guard_batches, 0u);
+  EXPECT_EQ(stats.guard_elisions, 0u);
+  EXPECT_EQ(stats.guard_fallbacks, 0u);  // disabled batching is not abort-driven
+}
+
+// Default config on the soft backend: traversals must actually batch — committed
+// batches and elided per-hop fences both nonzero, and results stay correct.
+TEST_F(TeleportTest, BatchedCaptureCommitsUnderSoftBackend) {
+  TeleportSmr::Domain domain;
+  ds::LockFreeList<TeleportSmr> list;
+
+  runtime::ThreadScope scope;
+  auto& h = domain.AcquireHandle();
+  runtime::Xorshift128 rng(0x7e1e);
+  for (int i = 0; i < 200;) {
+    if (list.Insert(h, 1 + rng.NextBounded(500), i)) {
+      ++i;
+    }
+  }
+  uint64_t hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    hits += list.Contains(h, 1 + rng.NextBounded(500)) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 0u);
+
+  const core::Stats stats = domain.Snapshot();
+  EXPECT_GT(stats.guard_batches, 0u);
+  EXPECT_GT(stats.guard_elisions, 0u);
+  EXPECT_EQ(stats.guard_slot_overflows, 0u);
+}
+
+// A deterministic injected abort on the first armed segment: the operation must
+// retry, complete correctly, and count the abort — and the retry (still below
+// fallback_after) must re-enter the transactional path and commit a batch.
+TEST_F(TeleportTest, InjectedAbortRetriesAndCounts) {
+  TeleportSmr::Domain domain;
+  ds::LockFreeList<TeleportSmr> list;
+
+  runtime::ThreadScope scope;
+  auto& h = domain.AcquireHandle();
+  for (uint64_t key = 1; key <= 64; ++key) {
+    ASSERT_TRUE(list.Insert(h, key, key));
+  }
+
+  const core::Stats before = domain.Snapshot();
+  fault::ArmNthVisit(fault::Site::kSoftTxAbort, /*first=*/1, /*period=*/0);
+  EXPECT_TRUE(list.Contains(h, 64));
+  fault::Disarm(fault::Site::kSoftTxAbort);
+  EXPECT_EQ(fault::Fires(fault::Site::kSoftTxAbort), 1u);
+
+  const core::Stats after = domain.Snapshot();
+  EXPECT_EQ(after.aborts_conflict - before.aborts_conflict, 1u);  // default payload
+  EXPECT_GT(after.guard_batches, before.guard_batches);  // the retry still batched
+  EXPECT_EQ(after.guard_fallbacks, before.guard_fallbacks);  // one abort < fallback_after
+}
+
+// An abort cause delivered via the payload lands in the right counter and, once the
+// abort streak reaches fallback_after, the operation finishes on the fenced path.
+TEST_F(TeleportTest, AbortStreakFallsBackToFencedPath) {
+  TeleportSmr::Domain domain;
+  ds::LockFreeList<TeleportSmr> list;
+
+  runtime::ThreadScope scope;
+  auto& h = domain.AcquireHandle();
+  for (uint64_t key = 1; key <= 64; ++key) {
+    ASSERT_TRUE(list.Insert(h, key, key));
+  }
+
+  // Every armed begin aborts with kCapacity: the op burns fallback_after attempts,
+  // then must complete fenced.
+  const core::Stats before = domain.Snapshot();
+  fault::ArmNthVisit(fault::Site::kSoftTxAbort, /*first=*/1, /*period=*/1,
+                     /*payload=*/static_cast<uint32_t>(htm::AbortCause::kCapacity));
+  EXPECT_TRUE(list.Contains(h, 32));
+  fault::Disarm(fault::Site::kSoftTxAbort);
+
+  const core::Stats after = domain.Snapshot();
+  EXPECT_EQ(after.aborts_capacity - before.aborts_capacity,
+            domain.config().fallback_after);
+  EXPECT_EQ(after.guard_fallbacks - before.guard_fallbacks, 1u);
+  EXPECT_GE(after.segments_slow - before.segments_slow, 1u);
+}
+
+// Churn + probabilistic mid-run aborts, multi-threaded: aborted batches must never
+// expose an unpublished guard (the pool's poisoning and the sanitizer presets catch
+// any use-after-free) and the per-key accounting must stay exact.
+TEST_F(TeleportTest, FaultInjectedChurnStaysSafeAndExact) {
+  constexpr uint32_t kThreads = 3;
+  constexpr uint32_t kOps = 4000;
+  constexpr uint64_t kKeySpace = 64;
+
+  TeleportSmr::Domain domain;
+  ds::LockFreeList<TeleportSmr> list;
+  std::atomic<int64_t> net[kKeySpace] = {};
+
+  fault::ArmProbability(fault::Site::kSoftTxAbort, /*prob=*/0.02, /*seed=*/0x7e1e);
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      runtime::ThreadScope scope;
+      auto& h = domain.AcquireHandle();
+      runtime::Xorshift128 rng(0xfeed ^ t);
+      for (uint32_t i = 0; i < kOps; ++i) {
+        const uint64_t key = 1 + rng.NextBounded(kKeySpace);
+        const uint64_t dice = rng.NextBounded(100);
+        if (dice < 40) {
+          if (list.Insert(h, key, key)) {
+            net[key - 1].fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (dice < 80) {
+          if (list.Remove(h, key)) {
+            net[key - 1].fetch_sub(1, std::memory_order_relaxed);
+          }
+        } else {
+          list.Contains(h, key);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  fault::Disarm(fault::Site::kSoftTxAbort);
+  EXPECT_GT(fault::Fires(fault::Site::kSoftTxAbort), 0u);
+
+  runtime::ThreadScope scope;
+  auto& h = domain.AcquireHandle();
+  for (uint64_t key = 1; key <= kKeySpace; ++key) {
+    const int64_t count = net[key - 1].load(std::memory_order_relaxed);
+    ASSERT_TRUE(count == 0 || count == 1) << "key " << key << " net " << count;
+    EXPECT_EQ(list.Contains(h, key), count == 1) << "key " << key;
+  }
+
+  const core::Stats stats = domain.Snapshot();
+  EXPECT_GT(stats.guard_batches, 0u);
+  EXPECT_GT(stats.aborts_conflict + stats.aborts_capacity + stats.aborts_other, 0u);
+}
+
+#ifdef NDEBUG
+// Release builds must survive a slot-budget break loudly: the index clamps to slot
+// 0 (never a neighbour row) and the sticky counter + trace event record it. Debug
+// builds assert instead, so the case is release-only.
+TEST_F(TeleportTest, SlotOverflowFailsLoudly) {
+  TeleportSmr::Domain domain;
+  auto& pool = runtime::PoolAllocator::Instance();
+
+  runtime::ThreadScope scope;
+  auto& h = domain.AcquireHandle();
+  void* node = pool.Alloc(32);
+  std::atomic<void*> link{node};
+
+  h.OpBegin(0);
+  (void)h.Protect(link, TeleportSmr::kSlotsPerThread + 3);  // out of budget
+  h.OpEnd();
+
+  EXPECT_GE(domain.Snapshot().guard_slot_overflows, 1u);
+  pool.Free(node);
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace stacktrack::smr

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Teleportation reclamation gate (EXPERIMENTS.md T2): the teleport scheme must
+# (a) actually batch guard publications when the soft backend is active,
+# (b) honor the ST_TELEPORT_BATCH=0 kill switch (pure fenced fallback), and
+# (c) stay within an honest throughput band of plain hazard pointers, both
+#     batched (fig1_list traversal microbench) and in fallback mode (ycsb_kv).
+#
+# Why the ratio floors are 0.60/0.70 and not the ~0.95 a real-HTM teleportation
+# paper would suggest: on this repo's software HTM substrate every in-batch read
+# pays read-log bookkeeping (~12-15 cycles on first touch of a line) that real
+# RTM gets for free from cache-line monitoring, while the per-hop seq_cst fence
+# that batching elides costs only ~20 cycles on current x86. The elision can
+# therefore never fully pay for the instrumentation here; the gate instead pins
+# the regression band observed on the CI host (batched ~0.74-0.85x hazard,
+# fallback ~0.85-0.90x) with headroom for the ±10% noise of shared runners.
+# A failed attempt is retried; a real regression fails every attempt.
+#
+# Usage: tools/check_teleport.sh [threads] [ms] [attempts]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-1}"
+MS="${2:-300}"
+ATTEMPTS="${3:-3}"
+
+BATCHED_FLOOR=0.60   # fig1_list: teleport(batched) / hazard
+FALLBACK_FLOOR=0.70  # ycsb_kv:   teleport(ST_TELEPORT_BATCH=0) / hazard
+
+echo "== building default preset =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)" --target ycsb_kv fig1_list >/dev/null
+
+ycsb_field() {  # ycsb_field <flat-line> <key>
+  printf '%s\n' "$1" | awk -v key="$2" '/^YCSB / {
+    for (i = 1; i <= NF; ++i) if (split($i, kv, "=") == 2 && kv[1] == key) print kv[2]
+  }'
+}
+
+run_ycsb() {  # run_ycsb <scheme> [env pairs...]
+  local scheme="$1"; shift
+  env "$@" ST_BENCH_THREADS="$THREADS" \
+    build/bench/ycsb_kv --preset=b --scheme="$scheme" --threads="$THREADS" --ms="$MS" |
+    grep '^YCSB '
+}
+
+# -- Gate 1 (deterministic): batching engages under the soft backend ------------
+line=$(run_ycsb teleport)
+batches=$(ycsb_field "$line" guard_batches)
+elisions=$(ycsb_field "$line" guard_elisions)
+echo "teleport batched  : guard_batches=$batches guard_elisions=$elisions"
+if [[ "$batches" -le 0 || "$elisions" -le 0 ]]; then
+  echo "FAIL: teleport committed no guard batches under the soft backend"
+  exit 1
+fi
+
+# -- Gate 2 (deterministic): the kill switch yields the pure fenced path --------
+line=$(run_ycsb teleport ST_TELEPORT_BATCH=0)
+batches=$(ycsb_field "$line" guard_batches)
+fallback_ops=$(ycsb_field "$line" ops_per_sec)
+echo "teleport fallback : guard_batches=$batches ops_per_sec=$fallback_ops"
+if [[ "$batches" -ne 0 ]]; then
+  echo "FAIL: ST_TELEPORT_BATCH=0 still committed guard batches"
+  exit 1
+fi
+
+# -- Gates 3+4 (throughput, retried): ratios vs hazard --------------------------
+# Each attempt interleaves the hazard and teleport measurements back-to-back so a
+# load spike on a shared runner hits both sides of the ratio alike.
+check_ratios() {
+  local fig hz tp hz_ops ratio fb_ratio
+  fig=$(ST_BENCH_MS="$MS" ST_BENCH_THREADS="$THREADS" \
+        build/bench/fig1_list --scheme=hazard,teleport)
+  read -r hz tp < <(printf '%s\n' "$fig" | awk -v t="$THREADS" '$1 == t {print $2, $3}')
+  ratio=$(awk -v a="$tp" -v b="$hz" 'BEGIN {printf "%.3f", a / b}')
+  echo "fig1_list         : hazard=$hz teleport=$tp ratio=$ratio (gate: >= $BATCHED_FLOOR)"
+
+  hz_ops=$(ycsb_field "$(run_ycsb hazard)" ops_per_sec)
+  fb_ratio=$(awk -v a="$fallback_ops" -v b="$hz_ops" 'BEGIN {printf "%.3f", a / b}')
+  echo "ycsb fallback     : hazard=$hz_ops fallback=$fallback_ops ratio=$fb_ratio (gate: >= $FALLBACK_FLOOR)"
+
+  awk -v r="$ratio" -v fr="$fb_ratio" -v rf="$BATCHED_FLOOR" -v ff="$FALLBACK_FLOOR" \
+      'BEGIN {exit !(r >= rf && fr >= ff)}'
+}
+
+for attempt in $(seq "$ATTEMPTS"); do
+  echo "== teleport gate attempt $attempt/$ATTEMPTS: threads=$THREADS ms=$MS =="
+  if check_ratios; then
+    echo "OK: teleport batches guards and stays within its throughput band"
+    exit 0
+  fi
+  echo "attempt $attempt missed its ratio gates"
+  # Refresh the fallback measurement too: it feeds the next attempt's ratio.
+  fallback_ops=$(ycsb_field "$(run_ycsb teleport ST_TELEPORT_BATCH=0)" ops_per_sec)
+done
+echo "FAIL: teleport missed its throughput gates on every attempt"
+exit 1
